@@ -1,0 +1,29 @@
+"""Shared plumbing for the benchmark suite.
+
+Every benchmark computes an experiment table (paper bound vs measured
+value), prints it, and persists it under ``benchmarks/results/`` so the
+numbers recorded in EXPERIMENTS.md are regenerable artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.experiments import format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, rows: Sequence[Dict], title: str,
+         columns: Optional[Sequence[str]] = None,
+         notes: str = "") -> str:
+    """Render, print, and persist one experiment table."""
+    table = format_table(rows, columns=columns, title=title)
+    if notes:
+        table = table + "\n" + notes
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+    print()
+    print(table)
+    return table

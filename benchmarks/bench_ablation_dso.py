@@ -1,0 +1,87 @@
+"""ABLATION — preservers as computational substrates (Section 4.3).
+
+The paper's Section 4.3 closes by relating its FT structures to
+distance sensitivity oracles.  This ablation builds the sourcewise
+single-fault DSO twice — preprocessing on the full graph vs inside the
+1-FT ``{s} x V`` preserver — and measures the substrate-size and
+preprocessing-time savings on increasingly dense inputs.  Answers are
+identical by the preserver property; the savings grow with density
+(the preserver is Õ(n^{3/2}) edges regardless of m).
+"""
+
+import pytest
+
+from repro.analysis.experiments import timed
+from repro.core.scheme import RestorableTiebreaking
+from repro.graphs import generators
+from repro.oracles import SourcewiseDSO
+
+from _harness import emit
+
+DENSITIES = (0.1, 0.25, 0.5)
+N = 60
+
+
+@pytest.fixture(scope="module")
+def dso_rows():
+    rows = []
+    for p in DENSITIES:
+        g = generators.connected_erdos_renyi(N, p, seed=int(p * 100))
+        scheme = RestorableTiebreaking.build(g, f=1, seed=2)
+        scheme.tree(0)  # shared warm-up so timings isolate the BFS work
+        full, full_s = timed(SourcewiseDSO, g, [0], scheme=scheme)
+        slim, slim_s = timed(
+            SourcewiseDSO, g, [0], scheme=scheme, use_preserver=True
+        )
+        # spot-check equality of answers
+        tree = scheme.tree(0)
+        agreements = sum(
+            full.query(0, v, e) == slim.query(0, v, e)
+            for v in range(1, N)
+            for e in tree.path_to(v).edges()
+        )
+        total = sum(
+            1 for v in range(1, N) for _ in tree.path_to(v).edges()
+        )
+        rows.append({
+            "density_p": p,
+            "m": g.m,
+            "full_substrate": full.substrate_edges,
+            "preserver_substrate": slim.substrate_edges,
+            "full_sec": full_s,
+            "preserver_sec": slim_s,
+            "answers_equal": f"{agreements}/{total}",
+        })
+    return rows
+
+
+def test_dso_query_benchmark(benchmark, dso_rows):
+    g = generators.connected_erdos_renyi(N, 0.25, seed=25)
+    oracle = SourcewiseDSO(g, [0], seed=2)
+    tree = oracle.scheme.tree(0)
+    v = max(tree.reached_vertices(), key=tree.hop_distance)
+    e = next(iter(tree.path_to(v).edges()))
+
+    benchmark(oracle.query, 0, v, e)
+
+    emit(
+        "ablation_dso", dso_rows,
+        "SEC4.3: sourcewise DSO — full-graph vs preserver substrate",
+        notes=(
+            "paper: FT preservers carry exactly the information DSOs "
+            "need; the per-fault BFS substrate shrinks as density "
+            "grows (substrate columns), with identical answers.  At "
+            "this scale the one-time preserver build dominates "
+            "wall-clock (sec columns) — it amortises when the "
+            "preserver is shared across oracles, as in Theorem 30."
+        ),
+    )
+    for r in dso_rows:
+        assert r["preserver_substrate"] <= r["full_substrate"]
+        done, total = r["answers_equal"].split("/")
+        assert done == total
+    # savings must grow with density
+    savings = [
+        r["full_substrate"] / r["preserver_substrate"] for r in dso_rows
+    ]
+    assert savings[-1] > savings[0]

@@ -1,0 +1,55 @@
+"""FIG1 — tiebreaking sensitivity of the restoration lemma.
+
+Reproduces the phenomenon of Figure 1: restoration-by-concatenation
+with an innocently chosen (lexicographic BFS) tiebreaking scheme fails
+on a measurable fraction of (pair, fault) instances, while the paper's
+restorable tiebreaking never fails.  Also benchmarks the midpoint scan
+itself — the operation a router performs at fault time.
+"""
+
+import pytest
+
+from repro.analysis.experiments import figure1_experiment
+from repro.core.restoration import midpoint_scan
+from repro.core.scheme import RestorableTiebreaking
+from repro.graphs import generators
+
+from _harness import emit
+
+
+@pytest.fixture(scope="module")
+def fig1_rows():
+    rows = []
+    for family, size in (("grid", 6), ("torus", 5), ("er", 40),
+                         ("hypercube", 4)):
+        rows.extend(
+            figure1_experiment([family], size, seed=7, limit=1500)
+        )
+    return rows
+
+
+def test_fig1_failure_rates(benchmark, fig1_rows):
+    """Benchmark one midpoint scan; assert the Figure-1 contrast."""
+    g = generators.grid(6, 6)
+    scheme = RestorableTiebreaking.build(g, f=1, seed=3)
+    path = scheme.path(0, 35)
+    fault = next(iter(path.edges()))
+    scheme.tree(0)
+    scheme.tree(35)
+
+    benchmark(midpoint_scan, scheme, 0, 35, [fault])
+
+    emit(
+        "fig1_sensitivity", fig1_rows,
+        "FIG1: naive restoration-by-concatenation failure rates",
+        notes=(
+            "paper: arbitrary tiebreaking can discard the correct "
+            "midpoint (Fig. 1); restorable tiebreaking never fails "
+            "(Theorem 2).  Expect failure_rate > 0 for bfs-lex "
+            "somewhere and == 0 for restorable everywhere."
+        ),
+    )
+    restorable_rows = [r for r in fig1_rows if r["scheme"] == "restorable"]
+    bfs_rows = [r for r in fig1_rows if r["scheme"] == "bfs-lex"]
+    assert all(r["failures"] == 0 for r in restorable_rows)
+    assert sum(r["failures"] for r in bfs_rows) > 0

@@ -1,0 +1,91 @@
+"""THM2/THM19 — the main result: restorable tiebreaking in every graph.
+
+Verifies f-restorability (plus stability and consistency, Theorem 19)
+across graph families, counts violations (always 0), and benchmarks
+full single-fault restoration — the end-to-end operation Theorem 2
+enables.  Also exercises Theorems 1 and 11 as instance sweeps.
+"""
+
+import pytest
+
+from repro.core import properties
+from repro.core.restoration import (
+    restore_by_concatenation,
+    verify_restoration_lemma,
+    verify_weighted_restoration_lemma,
+)
+from repro.core.scheme import RestorableTiebreaking
+from repro.graphs import generators
+
+from _harness import emit
+
+
+FAMILIES = (("grid", 5), ("torus", 4), ("er", 24), ("hypercube", 4),
+            ("cycle", 12))
+
+
+@pytest.fixture(scope="module")
+def verification_rows():
+    rows = []
+    for family, size in FAMILIES:
+        g = generators.by_name(family, size, seed=5)
+        scheme = RestorableTiebreaking.build(g, f=1, seed=5)
+        violations = properties.restorability_violations(scheme)
+        pairs = [(0, g.n - 1), (1, g.n // 2)]
+        consistent = properties.is_consistent(scheme, pairs=pairs)
+        stable = not properties.stability_violations(scheme, pairs=pairs)
+        rows.append({
+            "family": family,
+            "n": g.n,
+            "m": g.m,
+            "restore_violations": len(violations),
+            "consistent": consistent,
+            "stable": stable,
+        })
+    return rows
+
+
+@pytest.fixture(scope="module")
+def lemma_rows():
+    rows = []
+    for family, size in (("grid", 4), ("er", 16), ("torus", 4)):
+        g = generators.by_name(family, size, seed=9)
+        thm1 = thm11 = checked = 0
+        for e in g.edges():
+            for s in range(0, g.n, 3):
+                for t in range(1, g.n, 3):
+                    if s == t:
+                        continue
+                    checked += 1
+                    thm1 += verify_restoration_lemma(g, s, t, e)
+                    thm11 += verify_weighted_restoration_lemma(g, s, t, e)
+        rows.append({
+            "family": family, "n": g.n, "instances": checked,
+            "thm1_holds": thm1, "thm11_holds": thm11,
+        })
+    return rows
+
+
+def test_thm2_restoration_benchmark(benchmark, verification_rows,
+                                    lemma_rows):
+    g = generators.connected_erdos_renyi(100, 0.05, seed=8)
+    scheme = RestorableTiebreaking.build(g, f=1, seed=8)
+    path = scheme.path(0, 99)
+    fault = list(path.edges())[len(list(path.edges())) // 2]
+
+    benchmark(restore_by_concatenation, scheme, 0, 99, [fault])
+
+    emit(
+        "thm2_restorable", verification_rows,
+        "THM2/THM19: restorability + consistency + stability "
+        "(exhaustive single-fault sweeps)",
+        notes="paper: violations must be 0 everywhere; measured: as shown.",
+    )
+    emit(
+        "thm1_thm11_lemmas", lemma_rows,
+        "THM1/THM11: restoration lemmas verified instance-wise",
+        notes="paper: both lemmas hold on all instances.",
+    )
+    assert all(r["restore_violations"] == 0 for r in verification_rows)
+    assert all(r["thm1_holds"] == r["instances"] for r in lemma_rows)
+    assert all(r["thm11_holds"] == r["instances"] for r in lemma_rows)

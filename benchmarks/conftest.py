@@ -1,0 +1,6 @@
+"""Benchmark-suite conftest: make the local harness importable."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Distance sensitivity oracle from fault-tolerant preservers (Sec 4.3).
+
+Scenario: a traffic-engineering controller needs instant answers to
+"what happens to s->v latency if link e dies?" for a monitored source
+set.  Preprocess once, answer in O(1):
+
+1. build a sourcewise DSO — selected tree + one replacement row per
+   tree edge (stability covers all other faults);
+2. compare full-graph preprocessing against preprocessing *inside* the
+   1-FT preserver (identical answers, smaller substrate);
+3. fire a batch of what-if queries and cross-check ground truth.
+
+Run:  python examples/sensitivity_oracle.py
+"""
+
+import random
+
+from repro.core.scheme import RestorableTiebreaking
+from repro.graphs import generators
+from repro.oracles import SourcewiseDSO
+from repro.spt.apsp import replacement_distance
+
+
+def main() -> None:
+    graph = generators.connected_erdos_renyi(50, 0.25, seed=21)  # dense-ish
+    monitors = [0, 17, 34]
+    print(f"topology: n={graph.n}, m={graph.m}, monitors={monitors}")
+
+    scheme = RestorableTiebreaking.build(graph, f=1, seed=21)
+    full = SourcewiseDSO(graph, monitors, scheme=scheme)
+    slim = SourcewiseDSO(graph, monitors, scheme=scheme,
+                         use_preserver=True)
+    print(
+        f"\npreprocessing substrates: full graph "
+        f"{full.substrate_edges} edge-visits vs preserver "
+        f"{slim.substrate_edges} "
+        f"({full.substrate_edges / slim.substrate_edges:.1f}x less work "
+        f"per fault row)"
+    )
+    print(f"oracle space: {full.space_entries()} distance entries "
+          f"({full.preprocessed_edges} replacement rows)")
+
+    rng = random.Random(4)
+    edges = list(graph.edges())
+    print("\nwhat-if queries (O(1) each):")
+    for _ in range(8):
+        s = rng.choice(monitors)
+        v = rng.randrange(graph.n)
+        e = rng.choice(edges)
+        answer = full.query(s, v, e)
+        assert answer == slim.query(s, v, e)
+        truth = replacement_distance(graph, s, v, [e])
+        assert answer == truth
+        print(f"  dist({s:>2} -> {v:>2} | {e} down) = {answer:>2}  [exact]")
+
+    print("\nall answers identical across substrates and equal to "
+          "ground-truth BFS.")
+
+
+if __name__ == "__main__":
+    main()

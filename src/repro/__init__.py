@@ -1,0 +1,101 @@
+"""repro — Restorable Shortest Path Tiebreaking for Edge-Faulty Graphs.
+
+A faithful, production-quality reproduction of Bodwin & Parter
+(PODC 2021, arXiv:2102.10174).  The package implements the paper's
+restorable tiebreaking schemes and every application built on them:
+
+* :mod:`repro.graphs` — graph substrate, generators, Appendix-B
+  lower-bound families.
+* :mod:`repro.spt` — paths, BFS, exact-integer Dijkstra, SPTs.
+* :mod:`repro.core` — antisymmetric tiebreaking weights, f-RPTSes,
+  restoration-by-concatenation, routing tables (the main result).
+* :mod:`repro.replacement` — subset replacement paths (Algorithm 1).
+* :mod:`repro.preservers` — fault-tolerant S×V / S×S distance
+  preservers (Theorems 26, 31).
+* :mod:`repro.spanners` — fault-tolerant +4 additive spanners
+  (Lemma 32, Theorem 33).
+* :mod:`repro.labeling` — fault-tolerant exact distance labels
+  (Theorem 30).
+* :mod:`repro.distributed` — CONGEST simulator and the distributed
+  constructions of Section 4.5.
+* :mod:`repro.analysis` — theoretical bound formulas and the shared
+  experiment harness behind the benchmarks.
+
+Quickstart
+----------
+>>> from repro import Graph, RestorableTiebreaking, restore_by_concatenation
+>>> from repro.graphs import generators
+>>> g = generators.grid(4, 4)
+>>> scheme = RestorableTiebreaking.build(g, f=1, seed=7)
+>>> broken = next(iter(scheme.path(0, 15).edges()))
+>>> result = restore_by_concatenation(scheme, 0, 15, [broken])
+>>> result.path.hops  # still a shortest path in G minus the fault
+6
+"""
+
+from repro.exceptions import (
+    CongestError,
+    DisconnectedError,
+    GraphError,
+    LabelingError,
+    ReproError,
+    RestorationError,
+    TiebreakingError,
+)
+from repro.graphs import FaultView, Graph, canonical_edge
+from repro.spt import Path, ShortestPathTree
+from repro.core import (
+    AntisymmetricWeights,
+    BFSTiebreaking,
+    ExplicitScheme,
+    MplsRouter,
+    RestorableTiebreaking,
+    RoutingTable,
+    WeightedTiebreaking,
+    restore_by_concatenation,
+    verify_restoration_lemma,
+    verify_weighted_restoration_lemma,
+)
+from repro.replacement import subset_replacement_paths
+from repro.preservers import Preserver, ft_ss_preserver, ft_sv_preserver
+from repro.spanners import Spanner, ft_plus4_spanner
+from repro.labeling import DistanceLabeling
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "GraphError",
+    "DisconnectedError",
+    "TiebreakingError",
+    "RestorationError",
+    "CongestError",
+    "LabelingError",
+    # substrate
+    "Graph",
+    "FaultView",
+    "canonical_edge",
+    "Path",
+    "ShortestPathTree",
+    # core
+    "AntisymmetricWeights",
+    "RestorableTiebreaking",
+    "WeightedTiebreaking",
+    "BFSTiebreaking",
+    "ExplicitScheme",
+    "MplsRouter",
+    "RoutingTable",
+    "restore_by_concatenation",
+    "verify_restoration_lemma",
+    "verify_weighted_restoration_lemma",
+    # applications
+    "subset_replacement_paths",
+    "Preserver",
+    "ft_sv_preserver",
+    "ft_ss_preserver",
+    "Spanner",
+    "ft_plus4_spanner",
+    "DistanceLabeling",
+]

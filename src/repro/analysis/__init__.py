@@ -1,0 +1,31 @@
+"""Theoretical bounds and the shared experiment harness.
+
+* :mod:`repro.analysis.bounds` — closed-form bound formulas for every
+  theorem in the paper, plus log-log exponent fitting used to compare
+  measured growth against the claimed exponents.
+* :mod:`repro.analysis.experiments` — the experiment runners behind
+  the benchmark suite: each returns printable rows recording
+  paper-bound vs measured values (mirrored into EXPERIMENTS.md).
+"""
+
+from repro.analysis.bounds import (
+    fit_exponent,
+    thm3_subset_rp_time,
+    thm26_sv_preserver_bound,
+    thm27_lower_bound,
+    thm30_label_bits_bound,
+    thm33_spanner_bound,
+    cor22_bits_per_edge,
+)
+from repro.analysis.experiments import format_table
+
+__all__ = [
+    "fit_exponent",
+    "thm3_subset_rp_time",
+    "thm26_sv_preserver_bound",
+    "thm27_lower_bound",
+    "thm30_label_bits_bound",
+    "thm33_spanner_bound",
+    "cor22_bits_per_edge",
+    "format_table",
+]

@@ -1,0 +1,93 @@
+"""Closed-form statements of every bound in the paper.
+
+Each function is the literal formula from the corresponding theorem,
+so benchmarks and tests compare *measured* quantities against the
+*claimed* ones by calling these rather than re-deriving exponents
+inline.  :func:`fit_exponent` estimates the growth exponent of a
+measured series on a log-log scale; the benchmarks assert the fitted
+exponent stays at or below the theorem's.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+
+def thm26_sv_preserver_bound(n: int, num_sources: int, f: int) -> float:
+    """Theorem 26 / 5 / 31: ``n^{2 - 1/2^f} * |S|^{1/2^f}`` edges."""
+    exp = 1.0 / (2 ** f)
+    return (n ** (2 - exp)) * (num_sources ** exp)
+
+
+def thm31_ss_preserver_bound(n: int, num_sources: int,
+                             faults_tolerated: int) -> float:
+    """Theorem 31 in ``faults_tolerated`` form: the (f+1)-FT S x S
+    preserver bound with ``f = faults_tolerated - 1``."""
+    return thm26_sv_preserver_bound(n, num_sources, faults_tolerated - 1)
+
+
+def thm33_spanner_bound(n: int, f: int) -> float:
+    """Theorem 33 / 7: ``n^{1 + 2^f/(2^f + 1)}`` edges for the
+    (f+1)-FT +4 spanner (``f`` is the overlay parameter)."""
+    p = 2 ** f
+    return n ** (1 + p / (p + 1))
+
+
+def thm30_label_bits_bound(n: int, f: int) -> float:
+    """Theorem 30 / 10: ``n^{2 - 1/2^f} log n`` bits per label for the
+    (f+1)-FT exact distance labeling."""
+    exp = 1.0 / (2 ** f)
+    return (n ** (2 - exp)) * max(1.0, math.log2(n))
+
+
+def thm3_subset_rp_time(n: int, m: int, sigma: int) -> float:
+    """Theorem 3: ``σ m + σ² n`` (log factors dropped)."""
+    return sigma * m + sigma * sigma * n
+
+
+def naive_subset_rp_time(n: int, m: int, sigma: int,
+                         avg_path_len: float) -> float:
+    """The recompute baseline: ``σ² * L * m`` BFS work."""
+    return sigma * sigma * avg_path_len * m
+
+
+def thm27_lower_bound(n: int, f: int, sigma: int = 1) -> float:
+    """Theorem 27: ``Ω(σ^{1/2^f} (n/f)^{2 - 1/2^f})`` forced edges."""
+    exp = 1.0 / (2 ** f)
+    return (sigma ** exp) * ((n / f) ** (2 - exp))
+
+
+def cor22_bits_per_edge(n: int, f: int, c: int = 2) -> float:
+    """Corollary 22: ``log2(n^{f+4+c})`` bits per perturbation value."""
+    return (f + 4 + c) * math.log2(max(n, 2))
+
+
+def thm23_bits_per_edge(m: int, base: int = 4) -> float:
+    """Theorem 23: the deterministic weights need ``O(|E|)`` bits."""
+    return m * math.log2(base)
+
+
+def lemma36_round_bound(diameter: int, num_sources: int, n: int) -> float:
+    """Lemma 36 / Theorem 8(1): ``Õ(D + |S|)`` rounds."""
+    return (diameter + num_sources) * max(1.0, math.log2(max(n, 2)))
+
+
+def fit_exponent(xs: Sequence[float], ys: Sequence[float]
+                 ) -> Tuple[float, float]:
+    """Least-squares slope and intercept of ``log y`` against ``log x``.
+
+    Returns ``(exponent, log_coefficient)`` such that
+    ``y ≈ exp(log_coefficient) * x**exponent``.  Requires at least two
+    distinct positive points.
+    """
+    import numpy as np
+
+    xs = [float(x) for x in xs]
+    ys = [float(y) for y in ys]
+    if len(xs) < 2 or any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("need >= 2 positive points for a log-log fit")
+    log_x = np.log(np.asarray(xs))
+    log_y = np.log(np.asarray(ys))
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    return float(slope), float(intercept)

@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands, each a thin veneer over the library:
+
+* ``demo`` — the quickstart flow on a built-in graph (or an edge-list
+  file): select, break, restore, report.
+* ``verify`` — certify a scheme's properties (consistency, stability,
+  restorability) on a graph, exhaustively.
+* ``preserver`` — build an S x S fault-tolerant preserver and print
+  (or save) its edges, with optional verification.
+* ``labels`` — build a fault-tolerant distance labeling and report
+  label sizes against the Theorem-30 bound.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.graphs import generators
+from repro.graphs.base import Graph
+from repro.graphs.io import read_edgelist
+
+
+def _load_graph(args) -> Graph:
+    if args.input:
+        return read_edgelist(args.input)
+    return generators.by_name(args.family, args.size, seed=args.seed)
+
+
+def _add_graph_args(parser) -> None:
+    parser.add_argument("--input", help="edge-list file (overrides family)")
+    parser.add_argument(
+        "--family", default="er",
+        choices=["er", "grid", "torus", "hypercube", "cycle", "path",
+                 "complete"],
+        help="built-in graph family (default: er)",
+    )
+    parser.add_argument("--size", type=int, default=20,
+                        help="family size parameter (default: 20)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_demo(args) -> int:
+    from repro import RestorableTiebreaking, restore_by_concatenation
+
+    graph = _load_graph(args)
+    print(f"graph: n={graph.n}, m={graph.m}")
+    scheme = RestorableTiebreaking.build(graph, f=1, seed=args.seed)
+    s, t = 0, graph.n - 1
+    path = scheme.path(s, t)
+    if path is None:
+        print(f"{s} and {t} are disconnected; nothing to demo")
+        return 1
+    print(f"selected {s} ~> {t}: {path} ({path.hops} hops)")
+    for e in path.edges():
+        result = restore_by_concatenation(scheme, s, t, [e])
+        print(f"  fault {e}: restored via midpoint {result.midpoint} "
+              f"-> {result.path.hops} hops")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from repro import RestorableTiebreaking
+    from repro.core import properties
+
+    graph = _load_graph(args)
+    scheme = RestorableTiebreaking.build(
+        graph, f=args.faults, method=args.method, seed=args.seed
+    )
+    print(f"graph: n={graph.n}, m={graph.m}; scheme: {scheme.name}")
+    checks = {
+        "tiebreaking (Def 18)": scheme.weights.verify_tiebreaking(),
+        "consistent (Def 14)": properties.is_consistent(scheme),
+        "stable (Def 16)": properties.is_stable(scheme),
+        "1-restorable (Def 17)": properties.is_restorable(scheme),
+    }
+    failed = False
+    for name, ok in checks.items():
+        print(f"  {name:<24} {'OK' if ok else 'VIOLATED'}")
+        failed |= not ok
+    return 1 if failed else 0
+
+
+def cmd_preserver(args) -> int:
+    from repro.preservers import ft_ss_preserver, verify_preserver
+    from repro.graphs.io import preserver_to_json
+
+    graph = _load_graph(args)
+    sources = (
+        [int(x) for x in args.sources.split(",")]
+        if args.sources else
+        list(range(0, graph.n, max(1, graph.n // 4)))
+    )
+    preserver = ft_ss_preserver(
+        graph, sources, faults_tolerated=args.faults, seed=args.seed
+    )
+    print(f"graph: n={graph.n}, m={graph.m}; S={sources}")
+    print(f"{args.faults}-FT S x S preserver: {preserver.size} edges "
+          f"({preserver.fault_sets_explored} fault sets explored)")
+    if args.check:
+        sampled = generators.fault_sample(
+            graph, 20, seed=args.seed, size=args.faults
+        )
+        ok = verify_preserver(graph, preserver.edges, sources,
+                              fault_sets=sampled)
+        print(f"sampled verification: {'OK' if ok else 'VIOLATED'}")
+        if not ok:
+            return 1
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(preserver_to_json(preserver))
+        print(f"written to {args.output}")
+    return 0
+
+
+def cmd_labels(args) -> int:
+    from repro.labeling import DistanceLabeling
+    from repro.analysis.bounds import thm30_label_bits_bound
+
+    graph = _load_graph(args)
+    overlay = args.faults - 1
+    labeling = DistanceLabeling.build(graph, f=overlay, seed=args.seed)
+    bound = thm30_label_bits_bound(graph.n, overlay)
+    print(f"graph: n={graph.n}, m={graph.m}")
+    print(f"{args.faults}-FT labels: max {labeling.max_label_bits()} bits, "
+          f"total {labeling.total_bits()} bits "
+          f"(Theorem 30 bound ~{bound:.0f} bits/label)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Restorable shortest path tiebreaking "
+                    "(Bodwin & Parter, PODC 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="select, break, restore")
+    _add_graph_args(demo)
+    demo.set_defaults(fn=cmd_demo)
+
+    verify = sub.add_parser("verify", help="certify scheme properties")
+    _add_graph_args(verify)
+    verify.add_argument("--faults", type=int, default=1)
+    verify.add_argument("--method", default="random",
+                        choices=["random", "deterministic", "uniform"])
+    verify.set_defaults(fn=cmd_verify)
+
+    pres = sub.add_parser("preserver", help="build an S x S FT preserver")
+    _add_graph_args(pres)
+    pres.add_argument("--faults", type=int, default=1)
+    pres.add_argument("--sources", help="comma-separated vertex ids")
+    pres.add_argument("--check", action="store_true",
+                      help="verify on sampled fault sets")
+    pres.add_argument("--output", help="write the preserver as JSON")
+    pres.set_defaults(fn=cmd_preserver)
+
+    labels = sub.add_parser("labels", help="build FT distance labels")
+    _add_graph_args(labels)
+    labels.add_argument("--faults", type=int, default=1)
+    labels.set_defaults(fn=cmd_labels)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,260 @@
+"""Antisymmetric tiebreaking weight (ATW) functions — Definition 18.
+
+An ATW function ``r`` assigns each directed arc a perturbation with
+``r(u, v) = -r(v, u)`` such that in the reweighted graph ``G*`` (arc
+weight ``1 + r(u, v)``) every node pair has a *unique* shortest path
+even after removing any ``<= f`` edges, and those unique paths are
+shortest paths of the unweighted graph.
+
+Exact-integer convention
+------------------------
+The paper works in the real-RAM model with ``|r| < 1/(2n)``.  We scale
+everything by an integer ``scale`` so that an arc of ``G*`` weighs
+``scale + r_int(u, v)`` with ``|r_int| < scale / (2n)``; a simple path
+of ``k`` hops then weighs within ``(k - 1/2, k + 1/2)`` hops-worth of
+weight and its hop count is recoverable as ``round(weight / scale)``.
+All three constructions from the paper are provided:
+
+* :meth:`AntisymmetricWeights.random` — Corollary 22's isolation-lemma
+  weights: ``r`` drawn from ``2W + 1`` values with ``W = n**(f+4+c)``,
+  hence ``O(f log n)`` bits per edge and f-fault tiebreaking w.h.p.
+* :meth:`AntisymmetricWeights.deterministic` — Theorem 23's geometric
+  weights ``sign(u - v) * C**(-i)``: deterministic, ``O(|E|)`` bits.
+* :meth:`AntisymmetricWeights.uniform` — Theorem 20's random reals,
+  emulated at a caller-chosen resolution (probability-1 uniqueness
+  becomes w.h.p. at 128-bit resolution).
+
+Uniqueness is never just assumed: :meth:`verify_tiebreaking` certifies
+it exactly via :func:`repro.spt.dijkstra.count_min_weight_paths`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import GraphError, TiebreakingError
+from repro.graphs.base import Edge, Graph, canonical_edge
+from repro.spt.bfs import UNREACHABLE, bfs_distances
+from repro.spt.dijkstra import count_min_weight_paths
+
+
+class AntisymmetricWeights:
+    """An exact-integer ATW function over a fixed graph.
+
+    Parameters
+    ----------
+    graph:
+        The undirected unweighted base graph.
+    perturbation:
+        Map from *canonical* edges ``(u, v), u < v`` to the integer
+        ``r_int(u, v)`` (the value on the low-to-high orientation; the
+        reverse orientation is its negation).
+    scale:
+        Weight units per hop.  Must satisfy
+        ``max |r_int| < scale / (2n)``, checked at construction.
+    name:
+        Human-readable tag for reports ("random", "deterministic", ...).
+    """
+
+    __slots__ = ("_graph", "_r", "_scale", "_name")
+
+    def __init__(self, graph: Graph, perturbation: Dict[Edge, int],
+                 scale: int, name: str = "custom"):
+        n = max(graph.n, 1)
+        for edge in graph.edges():
+            if edge not in perturbation:
+                raise TiebreakingError(f"missing perturbation for {edge}")
+        for edge, value in perturbation.items():
+            if edge != canonical_edge(*edge):
+                raise TiebreakingError(
+                    f"perturbation keys must be canonical, got {edge}"
+                )
+            if abs(value) * 2 * n >= scale:
+                raise TiebreakingError(
+                    f"|r{edge}| = {abs(value)} is not < scale/(2n) "
+                    f"= {scale}/(2*{n})"
+                )
+        self._graph = graph
+        self._r = dict(perturbation)
+        self._scale = scale
+        self._name = name
+
+    # ------------------------------------------------------------------
+    # constructions from the paper
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(cls, graph: Graph, f: int = 1, seed: int = 0,
+               c: int = 2) -> "AntisymmetricWeights":
+        """Corollary 22: isolation-lemma integer weights.
+
+        Draws each ``r(u, v)`` uniformly from the ``2W + 1`` integers
+        ``{-W, ..., W}`` with ``W = n**(f + 4 + c)``, so each value
+        needs ``O(f log n)`` bits, and sets ``scale = 2 n (W + 1)``.
+        With probability ``>= 1 - 1/n**c`` the result f-fault
+        tiebreaks (unique shortest paths under every ``|F| <= f``).
+        """
+        if f < 0:
+            raise TiebreakingError(f"f must be >= 0, got {f}")
+        n = max(graph.n, 2)
+        big_w = n ** (f + 4 + c)
+        rng = random.Random(seed)
+        perturbation = {
+            edge: rng.randint(-big_w, big_w) for edge in graph.edges()
+        }
+        scale = 2 * n * (big_w + 1)
+        return cls(graph, perturbation, scale, name=f"random(f={f})")
+
+    @classmethod
+    def deterministic(cls, graph: Graph, base: int = 4
+                      ) -> "AntisymmetricWeights":
+        """Theorem 23: deterministic geometric weights.
+
+        Edge ``i`` (1-indexed in canonical lexicographic order) gets
+        ``r(u, v) = sign(u - v) * base**(m - i)`` on the arc ``(u, v)``
+        (so the canonical low-to-high orientation carries the negative
+        sign, matching ``sign(u - v)`` with ``u < v``).  ``base >= 4``
+        makes the geometric series strictly dominated by its leading
+        term, which is what forces unique shortest paths for *every*
+        fault set simultaneously — no randomness, ``O(|E|)`` bits.
+        """
+        if base < 4:
+            raise TiebreakingError(
+                f"base must be >= 4 for strict domination, got {base}"
+            )
+        edges = sorted(graph.edges())
+        m = len(edges)
+        # sign(u - v) with u < v is -1 on the canonical orientation.
+        perturbation = {
+            edge: -(base ** (m - i)) for i, edge in enumerate(edges, start=1)
+        }
+        n = max(graph.n, 2)
+        scale = 2 * n * base ** m
+        return cls(graph, perturbation, scale, name="deterministic")
+
+    @classmethod
+    def uniform(cls, graph: Graph, seed: int = 0,
+                resolution_bits: int = 128) -> "AntisymmetricWeights":
+        """Theorem 20: random "real" weights, at finite resolution.
+
+        The paper samples reals from ``[-eps, eps]``; reals do not exist
+        on hardware, so we sample integers from a ``resolution_bits``-
+        wide window.  At 128 bits the collision probability over all
+        ``O(n**2 * m**f)`` comparisons is negligible for any graph this
+        library can hold in memory; this substitution is recorded in
+        DESIGN.md.
+        """
+        rng = random.Random(seed)
+        half = 1 << resolution_bits
+        perturbation = {
+            edge: rng.randint(-half, half) for edge in graph.edges()
+        }
+        n = max(graph.n, 2)
+        scale = 2 * n * (half + 1)
+        return cls(graph, perturbation, scale, name="uniform")
+
+    # ------------------------------------------------------------------
+    # the weight function of G*
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    @property
+    def scale(self) -> int:
+        """Integer weight of one unperturbed hop."""
+        return self._scale
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def r(self, u: int, v: int) -> int:
+        """The antisymmetric perturbation ``r_int(u, v)`` on an arc."""
+        edge = canonical_edge(u, v)
+        if edge not in self._r:
+            raise GraphError(f"({u}, {v}) is not an edge of the graph")
+        value = self._r[edge]
+        return value if (u, v) == edge else -value
+
+    def weight(self, u: int, v: int) -> int:
+        """Arc weight in ``G*``: ``scale + r_int(u, v)`` (always > 0)."""
+        return self._scale + self.r(u, v)
+
+    def __call__(self, u: int, v: int) -> int:
+        return self.weight(u, v)
+
+    def hops_of_weight(self, total: int) -> int:
+        """Recover the hop count of a simple path from its total weight."""
+        return (total + self._scale // 2) // self._scale
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def bits_per_edge(self) -> int:
+        """Maximum bits needed to store one perturbation value.
+
+        Corollary 22 promises ``O(f log n)``; Theorem 23's geometric
+        weights cost ``O(|E|)``.  The benchmark
+        ``bench_thm20_weights.py`` tabulates this quantity.
+        """
+        return max(
+            (abs(v).bit_length() + 1 for v in self._r.values()), default=1
+        )
+
+    def verify_antisymmetry(self) -> bool:
+        """Check ``r(u, v) == -r(v, u)`` on every arc (true by storage)."""
+        return all(
+            self.r(u, v) == -self.r(v, u) for u, v in self._graph.arcs()
+        )
+
+    def tiebreaking_violations(
+        self,
+        fault_sets: Optional[Iterable[Sequence[Edge]]] = None,
+        sources: Optional[Iterable[int]] = None,
+    ) -> List[Tuple]:
+        """Exactly certify the f-fault tiebreaking property (Def 18).
+
+        For each fault set, runs Dijkstra in ``G* \\ F`` from each
+        source and checks (a) the minimum-weight path to every reachable
+        vertex is *unique*, and (b) its hop count equals the unweighted
+        distance in ``G \\ F``.  Returns a list of violation tuples
+        ``(fault_set, source, vertex, kind)``; empty means certified.
+
+        ``fault_sets`` defaults to the empty set plus every single edge;
+        callers wanting ``f >= 2`` certification pass larger sets (see
+        :func:`repro.graphs.generators.fault_sample`).
+        """
+        if fault_sets is None:
+            fault_sets = [()] + [(e,) for e in self._graph.edges()]
+        if sources is None:
+            sources = list(self._graph.vertices())
+        violations: List[Tuple] = []
+        for faults in fault_sets:
+            view = self._graph.without(faults)
+            for s in sources:
+                counts = count_min_weight_paths(view, s, self.weight)
+                hops = bfs_distances(view, s)
+                from repro.spt.dijkstra import dijkstra
+
+                dist, _ = dijkstra(view, s, self.weight)
+                for v, cnt in counts.items():
+                    if cnt != 1:
+                        violations.append((tuple(faults), s, v, "tie"))
+                for v, d in dist.items():
+                    recovered = self.hops_of_weight(d)
+                    if hops[v] == UNREACHABLE or recovered != hops[v]:
+                        violations.append(
+                            (tuple(faults), s, v, "not-shortest")
+                        )
+        return violations
+
+    def verify_tiebreaking(self, **kwargs) -> bool:
+        """True when :meth:`tiebreaking_violations` finds nothing."""
+        return not self.tiebreaking_violations(**kwargs)
+
+    def __repr__(self) -> str:
+        return (
+            f"AntisymmetricWeights(name={self._name!r}, "
+            f"m={self._graph.m}, bits/edge={self.bits_per_edge()})"
+        )

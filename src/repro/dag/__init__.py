@@ -1,0 +1,40 @@
+"""DAG extensions — the paper's future-work direction (Section 1.2).
+
+The paper notes that both restoration lemmas extend to DAGs and writes:
+*"It seems very plausible that our main result admits some kind of
+extension to unweighted DAGs, but we leave the appropriate formulation
+and proof as a direction for future work."*
+
+This package supplies the machinery to *study* that question
+empirically:
+
+* :class:`~repro.dag.digraph.DirectedGraph` — a minimal directed graph
+  with arc-fault views and reversal.
+* :mod:`~repro.dag.generators` — random layered DAGs (heavy ties by
+  construction).
+* :mod:`~repro.dag.restoration` — perturbation-based unique-shortest-
+  path tiebreaking on DAGs, the DAG restoration-lemma decision
+  procedure, and a restorability checker for the natural Definition-17
+  analogue (``pi(s, x) + pi(x, t)``, both forward).
+
+The ``bench_ablation_dag`` benchmark sweeps random DAGs and reports
+the observed restorability rate of perturbation tiebreaking — an
+experimental data point on the open problem (spoiler: no violation has
+been observed, supporting the paper's "very plausible").
+"""
+
+from repro.dag.digraph import DirectedGraph
+from repro.dag.generators import random_layered_dag
+from repro.dag.restoration import (
+    DagTiebreaking,
+    dag_restorability_violations,
+    verify_dag_restoration_lemma,
+)
+
+__all__ = [
+    "DirectedGraph",
+    "random_layered_dag",
+    "DagTiebreaking",
+    "dag_restorability_violations",
+    "verify_dag_restoration_lemma",
+]

@@ -1,0 +1,178 @@
+"""A minimal directed graph for the DAG extension study.
+
+Mirrors just enough of the :class:`repro.graphs.base.Graph` interface
+(``neighbors`` = out-neighbours) for the Dijkstra machinery of
+:mod:`repro.spt` to run unchanged.  Arc faults are directed: removing
+``(u, v)`` leaves ``(v, u)`` (if present) intact — the natural fault
+model for DAGs where each arc exists in one direction anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Set, Tuple
+
+from repro.exceptions import GraphError
+
+Arc = Tuple[int, int]
+
+
+class DirectedGraph:
+    """A simple directed graph on vertices ``0 .. n-1``."""
+
+    __slots__ = ("_n", "_out", "_in", "_m")
+
+    def __init__(self, num_vertices: int = 0, arcs: Iterable[Arc] = ()):
+        if num_vertices < 0:
+            raise GraphError(f"num_vertices must be >= 0, got {num_vertices}")
+        self._n = num_vertices
+        self._out: List[Set[int]] = [set() for _ in range(num_vertices)]
+        self._in: List[Set[int]] = [set() for _ in range(num_vertices)]
+        self._m = 0
+        for u, v in arcs:
+            self.add_arc(u, v)
+
+    # ------------------------------------------------------------------
+    def add_vertex(self) -> int:
+        self._out.append(set())
+        self._in.append(set())
+        self._n += 1
+        return self._n - 1
+
+    def add_arc(self, u: int, v: int) -> Arc:
+        self._check(u)
+        self._check(v)
+        if u == v:
+            raise GraphError(f"self-loop ({u}, {v}) rejected")
+        if v not in self._out[u]:
+            self._out[u].add(v)
+            self._in[v].add(u)
+            self._m += 1
+        return (u, v)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def m(self) -> int:
+        return self._m
+
+    def vertices(self) -> range:
+        return range(self._n)
+
+    def has_vertex(self, v: int) -> bool:
+        return 0 <= v < self._n
+
+    def has_arc(self, u: int, v: int) -> bool:
+        return (self.has_vertex(u) and self.has_vertex(v)
+                and v in self._out[u])
+
+    def neighbors(self, v: int) -> Iterator[int]:
+        """Out-neighbours — the direction Dijkstra relaxes along."""
+        self._check(v)
+        return iter(self._out[v])
+
+    def sorted_neighbors(self, v: int) -> List[int]:
+        self._check(v)
+        return sorted(self._out[v])
+
+    def in_neighbors(self, v: int) -> Iterator[int]:
+        self._check(v)
+        return iter(self._in[v])
+
+    def arcs(self) -> Iterator[Arc]:
+        for u in range(self._n):
+            for v in self._out[u]:
+                yield (u, v)
+
+    def out_degree(self, v: int) -> int:
+        self._check(v)
+        return len(self._out[v])
+
+    # ------------------------------------------------------------------
+    def reverse(self) -> "DirectedGraph":
+        """The graph with every arc flipped (for backward trees)."""
+        rev = DirectedGraph(self._n)
+        for u, v in self.arcs():
+            rev.add_arc(v, u)
+        return rev
+
+    def without(self, fault_arcs: Iterable[Arc]) -> "DirectedView":
+        return DirectedView(self, fault_arcs)
+
+    def is_acyclic(self) -> bool:
+        """Kahn's algorithm: True iff the graph is a DAG."""
+        indegree = [len(self._in[v]) for v in range(self._n)]
+        queue = [v for v in range(self._n) if indegree[v] == 0]
+        seen = 0
+        while queue:
+            u = queue.pop()
+            seen += 1
+            for v in self._out[u]:
+                indegree[v] -= 1
+                if indegree[v] == 0:
+                    queue.append(v)
+        return seen == self._n
+
+    def topological_order(self) -> List[int]:
+        if not self.is_acyclic():
+            raise GraphError("graph has a cycle")
+        indegree = [len(self._in[v]) for v in range(self._n)]
+        queue = sorted(v for v in range(self._n) if indegree[v] == 0)
+        order = []
+        while queue:
+            u = queue.pop(0)
+            order.append(u)
+            for v in sorted(self._out[u]):
+                indegree[v] -= 1
+                if indegree[v] == 0:
+                    queue.append(v)
+        return order
+
+    def __repr__(self) -> str:
+        return f"DirectedGraph(n={self._n}, m={self._m})"
+
+    def _check(self, v: int) -> None:
+        if not isinstance(v, int) or not 0 <= v < self._n:
+            raise GraphError(f"vertex {v!r} outside range(0, {self._n})")
+
+
+class DirectedView:
+    """``G \\ F`` for a set of directed arc faults."""
+
+    __slots__ = ("_base", "_faults")
+
+    def __init__(self, base: DirectedGraph, fault_arcs: Iterable[Arc]):
+        self._base = base
+        self._faults = frozenset(tuple(a) for a in fault_arcs)
+
+    @property
+    def n(self) -> int:
+        return self._base.n
+
+    @property
+    def faults(self) -> frozenset:
+        return self._faults
+
+    def vertices(self) -> range:
+        return self._base.vertices()
+
+    def has_vertex(self, v: int) -> bool:
+        return self._base.has_vertex(v)
+
+    def has_arc(self, u: int, v: int) -> bool:
+        return self._base.has_arc(u, v) and (u, v) not in self._faults
+
+    def neighbors(self, v: int) -> Iterator[int]:
+        for u in self._base.neighbors(v):
+            if (v, u) not in self._faults:
+                yield u
+
+    def sorted_neighbors(self, v: int) -> List[int]:
+        return sorted(self.neighbors(v))
+
+    def arcs(self) -> Iterator[Arc]:
+        for arc in self._base.arcs():
+            if arc not in self._faults:
+                yield arc

@@ -1,0 +1,79 @@
+"""Random DAG generators for the extension study.
+
+Layered DAGs maximise shortest-path ties (every layer-respecting path
+between two vertices has the same length), which is exactly the regime
+where tiebreaking questions are hard — the DAG analogue of grids.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.exceptions import GraphError
+from repro.dag.digraph import DirectedGraph
+
+
+def random_layered_dag(layers: int, width: int, p: float = 0.5,
+                       seed: int = 0, skip_p: float = 0.0
+                       ) -> DirectedGraph:
+    """A DAG of ``layers`` layers of ``width`` vertices each.
+
+    Each vertex gets arcs to next-layer vertices independently with
+    probability ``p`` (at least one, so the DAG stays connected layer
+    to layer), plus optional two-layer "skip" arcs with probability
+    ``skip_p`` (these create paths of different lengths, breaking the
+    pure-tie structure).  Vertex ids are ``layer * width + index``.
+    """
+    if layers < 2 or width < 1:
+        raise GraphError("need >= 2 layers and width >= 1")
+    if not (0.0 <= p <= 1.0 and 0.0 <= skip_p <= 1.0):
+        raise GraphError("probabilities must lie in [0, 1]")
+    rng = random.Random(seed)
+    dag = DirectedGraph(layers * width)
+    for layer in range(layers - 1):
+        for i in range(width):
+            u = layer * width + i
+            targets = [
+                layer * width + width + j
+                for j in range(width)
+                if rng.random() < p
+            ]
+            if not targets:
+                targets = [layer * width + width + rng.randrange(width)]
+            for v in targets:
+                dag.add_arc(u, v)
+            if skip_p and layer + 2 < layers:
+                for j in range(width):
+                    if rng.random() < skip_p:
+                        dag.add_arc(u, (layer + 2) * width + j)
+    return dag
+
+
+def path_dag(n: int) -> DirectedGraph:
+    """The directed path ``0 -> 1 -> ... -> n-1``."""
+    dag = DirectedGraph(n)
+    for v in range(n - 1):
+        dag.add_arc(v, v + 1)
+    return dag
+
+
+def diamond_stack(count: int) -> DirectedGraph:
+    """``count`` stacked diamonds: maximal tie structure, 2^count paths.
+
+    Vertex layout per diamond: entry -> {left, right} -> exit, with
+    the exit being the next diamond's entry.
+    """
+    if count < 1:
+        raise GraphError("need >= 1 diamond")
+    dag = DirectedGraph(1)
+    entry = 0
+    for _ in range(count):
+        left = dag.add_vertex()
+        right = dag.add_vertex()
+        exit_v = dag.add_vertex()
+        dag.add_arc(entry, left)
+        dag.add_arc(entry, right)
+        dag.add_arc(left, exit_v)
+        dag.add_arc(right, exit_v)
+        entry = exit_v
+    return dag

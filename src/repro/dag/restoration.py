@@ -1,0 +1,186 @@
+"""Tiebreaking and restorability on unweighted DAGs.
+
+The natural DAG analogue of Definition 17 selects one shortest path
+per *ordered reachable pair* and asks: for every failing arc ``e``
+with a surviving ``s ~> t`` path, is there a midpoint ``x`` such that
+``pi(s, x) + pi(x, t)`` (both forward selections) is a replacement
+shortest path avoiding ``e``?
+
+:class:`DagTiebreaking` breaks ties by random integer perturbation of
+arc weights (unique shortest paths w.h.p. — the isolation lemma does
+not care about direction), and
+:func:`dag_restorability_violations` decides the property exactly per
+instance.  :func:`verify_dag_restoration_lemma` checks the *existence*
+version (some tied choice works — known to hold from [3, 9]); the gap
+between the two is precisely the open problem.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import GraphError
+from repro.dag.digraph import Arc, DirectedGraph
+from repro.spt.dijkstra import dijkstra, extract_path
+from repro.spt.paths import Path
+
+
+def _hop_distances(graph, source: int) -> Dict[int, int]:
+    dist, _ = dijkstra(graph, source, lambda u, v: 1)
+    return dist
+
+
+class DagTiebreaking:
+    """Perturbation tiebreaking over a DAG: one path per ordered pair.
+
+    Forward trees (from a source) and backward trees (to a target, via
+    the reversed DAG) are cached; both read the same arc perturbation,
+    so ``pi(s, x)`` extracted forward and ``pi(x, t)`` extracted
+    backward agree on overlapping selections (unique shortest paths).
+    """
+
+    def __init__(self, dag: DirectedGraph, seed: int = 0):
+        if not dag.is_acyclic():
+            raise GraphError("DagTiebreaking requires an acyclic graph")
+        self._dag = dag
+        self._reverse = dag.reverse()
+        n = max(dag.n, 2)
+        rng = random.Random(seed)
+        big = n ** 6
+        self._scale = 2 * n * (big + 1)
+        self._r: Dict[Arc, int] = {
+            arc: rng.randint(-big, big) for arc in dag.arcs()
+        }
+        self._fwd: Dict[Tuple[int, frozenset], Tuple[dict, dict]] = {}
+        self._bwd: Dict[Tuple[int, frozenset], Tuple[dict, dict]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def dag(self) -> DirectedGraph:
+        return self._dag
+
+    @property
+    def scale(self) -> int:
+        return self._scale
+
+    def weight(self, u: int, v: int) -> int:
+        return self._scale + self._r[(u, v)]
+
+    def _forward(self, source: int, faults: frozenset):
+        key = (source, faults)
+        if key not in self._fwd:
+            view = self._dag.without(faults) if faults else self._dag
+            self._fwd[key] = dijkstra(view, source, self.weight)
+        return self._fwd[key]
+
+    def _backward(self, target: int, faults: frozenset):
+        key = (target, faults)
+        if key not in self._bwd:
+            flipped = frozenset((v, u) for u, v in faults)
+            view = self._reverse.without(flipped) if faults else self._reverse
+            self._bwd[key] = dijkstra(
+                view, target, lambda u, v: self.weight(v, u)
+            )
+        return self._bwd[key]
+
+    # ------------------------------------------------------------------
+    def path(self, s: int, t: int,
+             faults: Iterable[Arc] = ()) -> Optional[Path]:
+        """The selected shortest ``s ~> t`` path in the DAG minus faults."""
+        faults = frozenset(tuple(a) for a in faults)
+        _dist, parent = self._forward(s, faults)
+        return extract_path(parent, t)
+
+    def hop_distance(self, s: int, t: int,
+                     faults: Iterable[Arc] = ()) -> Optional[int]:
+        faults = frozenset(tuple(a) for a in faults)
+        dist, _ = self._forward(s, faults)
+        if t not in dist:
+            return None
+        return (dist[t] + self._scale // 2) // self._scale
+
+    def backward_path(self, x: int, t: int,
+                      faults: Iterable[Arc] = ()) -> Optional[Path]:
+        """The selected ``x ~> t`` path, read from the backward tree."""
+        faults = frozenset(tuple(a) for a in faults)
+        _dist, parent = self._backward(t, faults)
+        reversed_path = extract_path(parent, x)
+        return None if reversed_path is None else reversed_path.reverse()
+
+
+def dag_restorability_violations(
+    scheme: DagTiebreaking,
+    fault_arcs: Optional[Sequence[Arc]] = None,
+    pairs: Optional[Sequence[Tuple[int, int]]] = None,
+) -> List[Tuple]:
+    """Instances where no ``pi(s, x) + pi(x, t)`` restores the pair.
+
+    Returns ``(arc, s, t)`` triples; an empty list over exhaustive
+    sweeps is evidence for the paper's conjectured DAG extension.
+    """
+    dag = scheme.dag
+    if fault_arcs is None:
+        fault_arcs = list(dag.arcs())
+    if pairs is None:
+        pairs = [
+            (s, t) for s in dag.vertices() for t in dag.vertices()
+            if s != t
+        ]
+    bad: List[Tuple] = []
+    for arc in fault_arcs:
+        view = dag.without([arc])
+        per_source: Dict[int, Dict[int, int]] = {}
+        for s, t in pairs:
+            if s not in per_source:
+                per_source[s] = _hop_distances(view, s)
+            target = per_source[s].get(t)
+            if target is None:
+                continue
+            if not _has_forward_concatenation(scheme, s, t, arc, target):
+                bad.append((arc, s, t))
+    return bad
+
+
+def _has_forward_concatenation(scheme: DagTiebreaking, s: int, t: int,
+                               arc: Arc, target: int) -> bool:
+    dag = scheme.dag
+    for x in dag.vertices():
+        front = scheme.path(s, x)
+        if front is None or arc in set(front.arcs()):
+            continue
+        back = scheme.backward_path(x, t)
+        if back is None or arc in set(back.arcs()):
+            continue
+        if front.hops + back.hops == target:
+            return True
+    return False
+
+
+def verify_dag_restoration_lemma(dag: DirectedGraph, s: int, t: int,
+                                 arc: Arc) -> bool:
+    """The *existence* version on DAGs (holds per [3, 9]).
+
+    True iff some ``x`` has ``d(s, x) + d(x, t) == d_{G \\ e}(s, t)``
+    with both legs' distances preserved when ``arc`` is removed —
+    i.e. *some* tied choices concatenate into a replacement path.
+    """
+    view = dag.without([arc])
+    dist_after_s = _hop_distances(view, s)
+    if t not in dist_after_s:
+        return True
+    target = dist_after_s[t]
+    dist_s = _hop_distances(dag, s)
+    rev = dag.reverse()
+    rev_view = rev.without([(arc[1], arc[0])])
+    dist_t = _hop_distances(rev, t)           # d(x, t) via reverse
+    dist_after_t = _hop_distances(rev_view, t)
+    for x in dag.vertices():
+        if x not in dist_s or x not in dist_t:
+            continue
+        if dist_s[x] + dist_t[x] != target:
+            continue
+        if dist_after_s.get(x) == dist_s[x] and \
+                dist_after_t.get(x) == dist_t[x]:
+            return True
+    return False

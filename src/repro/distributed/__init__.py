@@ -1,0 +1,60 @@
+"""Distributed constructions in the CONGEST model (Section 4.5).
+
+* :mod:`repro.distributed.congest` — a synchronous message-passing
+  simulator enforcing the CONGEST contract: per-round, per-direction
+  edge capacity in O(log n)-bit words, with full accounting of rounds,
+  messages, and edge congestion.
+* :mod:`repro.distributed.bfs` — Lemma 34: distributed tie-breaking
+  SPT in O(D) rounds with O(1) messages per edge, plus a delay-robust
+  distance-vector variant used under concurrent scheduling.
+* :mod:`repro.distributed.scheduler` — Theorem 35: the random-delay
+  scheduler for running many algorithms concurrently, and its
+  O(congestion + dilation * log n) bound.
+* :mod:`repro.distributed.preserver` — Lemma 36 and Theorem 8:
+  distributed 1/2/3-FT S×S preservers built from concurrent
+  restorable-weight BFS instances.
+* :mod:`repro.distributed.spanner` — Corollary 9: distributed f-FT +4
+  additive spanners.
+"""
+
+from repro.distributed.congest import (
+    CongestSimulator,
+    NodeAlgorithm,
+    RunStats,
+)
+from repro.distributed.bfs import (
+    distributed_spt,
+    LayeredBFSNode,
+    ConvergingBFSNode,
+)
+from repro.distributed.scheduler import (
+    run_concurrent_bfs,
+    theorem35_bound,
+)
+from repro.distributed.preserver import (
+    distributed_ss_preserver,
+    distributed_sv_preserver,
+)
+from repro.distributed.spanner import distributed_ft_spanner
+from repro.distributed.primitives import (
+    run_broadcast,
+    run_convergecast,
+    run_upcast_tree_edges,
+)
+
+__all__ = [
+    "run_broadcast",
+    "run_convergecast",
+    "run_upcast_tree_edges",
+    "CongestSimulator",
+    "NodeAlgorithm",
+    "RunStats",
+    "distributed_spt",
+    "LayeredBFSNode",
+    "ConvergingBFSNode",
+    "run_concurrent_bfs",
+    "theorem35_bound",
+    "distributed_ss_preserver",
+    "distributed_sv_preserver",
+    "distributed_ft_spanner",
+]

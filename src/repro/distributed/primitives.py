@@ -1,0 +1,201 @@
+"""Standard CONGEST communication primitives over a tree.
+
+Textbook building blocks (Peleg [32]) used by the Section-4.5
+constructions and by our fault-enumeration waves:
+
+* **broadcast** — the root floods a value down a tree: O(depth) rounds.
+* **convergecast** — leaves-to-root aggregation of per-node values
+  under an associative combiner: O(depth) rounds, one message per tree
+  edge.
+* **pipelined upcast** — every node owns a list of items (here: its
+  parent edge) and all items travel to the root, one per edge per
+  round: O(depth + #items) rounds.  This is the subroutine that lets
+  a source learn its own SPT's edge set before launching the next
+  fault-enumeration wave (see :mod:`repro.distributed.preserver`).
+
+All three run on the strict simulator (capacity 1, no queueing), so
+their round counts are honest CONGEST costs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.exceptions import CongestError
+from repro.graphs.base import Graph
+from repro.distributed.congest import (
+    CongestSimulator,
+    NodeAlgorithm,
+    NodeHandle,
+    RunStats,
+)
+from repro.spt.trees import ShortestPathTree
+
+
+def _tree_children(tree: ShortestPathTree) -> Dict[int, List[int]]:
+    children: Dict[int, List[int]] = {v: [] for v in tree.reached_vertices()}
+    for v in tree.reached_vertices():
+        p = tree.parent(v)
+        if p is not None:
+            children[p].append(v)
+    return children
+
+
+class BroadcastNode(NodeAlgorithm):
+    """Flood ``value`` from the root down the given tree."""
+
+    def __init__(self, vertex: int, root: int, children: List[int],
+                 value: Any = None):
+        self.vertex = vertex
+        self.root = root
+        self.children = children
+        self.received: Optional[Any] = value if vertex == root else None
+
+    def on_start(self, node: NodeHandle) -> None:
+        if self.vertex == self.root:
+            for c in self.children:
+                node.send(c, self.received)
+
+    def on_round(self, node: NodeHandle,
+                 inbox: List[Tuple[int, Any, int]]) -> None:
+        if self.received is not None or not inbox:
+            return
+        _sender, payload, _w = inbox[0]
+        self.received = payload
+        for c in self.children:
+            node.send(c, payload)
+
+
+class ConvergecastNode(NodeAlgorithm):
+    """Aggregate per-node values to the root under ``combine``."""
+
+    def __init__(self, vertex: int, parent: Optional[int],
+                 children: List[int], value: Any,
+                 combine: Callable[[Any, Any], Any]):
+        self.vertex = vertex
+        self.parent = parent
+        self.children = children
+        self.accumulated = value
+        self.combine = combine
+        self._pending = len(children)
+        self.result: Optional[Any] = None
+
+    def _maybe_report(self, node: NodeHandle) -> None:
+        if self._pending:
+            return
+        if self.parent is None:
+            self.result = self.accumulated
+        else:
+            node.send(self.parent, self.accumulated)
+
+    def on_start(self, node: NodeHandle) -> None:
+        self._maybe_report(node)  # leaves fire immediately
+
+    def on_round(self, node: NodeHandle,
+                 inbox: List[Tuple[int, Any, int]]) -> None:
+        for _sender, payload, _w in inbox:
+            self.accumulated = self.combine(self.accumulated, payload)
+            self._pending -= 1
+        self._maybe_report(node)
+
+
+class UpcastNode(NodeAlgorithm):
+    """Pipelined upcast: forward owned items to the root, 1/round.
+
+    Each node starts with a list of items; every round it forwards one
+    item (its own or a relayed one) to its tree parent.  The root
+    collects everything in O(depth + total items) rounds with strict
+    per-edge capacity 1 — the classic pipelining argument.
+    """
+
+    def __init__(self, vertex: int, parent: Optional[int],
+                 items: List[Any]):
+        self.vertex = vertex
+        self.parent = parent
+        self.outbox: List[Any] = list(items)
+        self.collected: List[Any] = []
+
+    def _pump(self, node: NodeHandle) -> None:
+        if self.parent is not None and self.outbox:
+            node.send(self.parent, self.outbox.pop(0))
+            if self.outbox:
+                node.wake_next_round()
+
+    def on_start(self, node: NodeHandle) -> None:
+        self._pump(node)
+
+    def on_round(self, node: NodeHandle,
+                 inbox: List[Tuple[int, Any, int]]) -> None:
+        for _sender, payload, _w in inbox:
+            if self.parent is None:
+                self.collected.append(payload)
+            else:
+                self.outbox.append(payload)
+        self._pump(node)
+
+
+# ----------------------------------------------------------------------
+# runners
+# ----------------------------------------------------------------------
+def run_broadcast(graph: Graph, tree: ShortestPathTree,
+                  value: Any) -> Tuple[Dict[int, Any], RunStats]:
+    """Broadcast ``value`` down ``tree``; every reached node gets it."""
+    children = _tree_children(tree)
+    nodes: Dict[int, NodeAlgorithm] = {}
+    for v in graph.vertices():
+        if v in children:
+            nodes[v] = BroadcastNode(v, tree.root, children[v], value)
+        else:
+            nodes[v] = NodeAlgorithm()
+    sim = CongestSimulator(graph, capacity_messages=1)
+    stats = sim.run(nodes)
+    received = {
+        v: node.received for v, node in nodes.items()
+        if isinstance(node, BroadcastNode)
+    }
+    return received, stats
+
+
+def run_convergecast(graph: Graph, tree: ShortestPathTree,
+                     values: Dict[int, Any],
+                     combine: Callable[[Any, Any], Any]
+                     ) -> Tuple[Any, RunStats]:
+    """Aggregate ``values`` to the tree root under ``combine``."""
+    children = _tree_children(tree)
+    nodes: Dict[int, NodeAlgorithm] = {}
+    for v in graph.vertices():
+        if v in children:
+            nodes[v] = ConvergecastNode(
+                v, tree.parent(v), children[v], values[v], combine
+            )
+        else:
+            nodes[v] = NodeAlgorithm()
+    sim = CongestSimulator(graph, capacity_messages=1)
+    stats = sim.run(nodes)
+    root_node = nodes[tree.root]
+    if root_node.result is None:
+        raise CongestError("convergecast did not complete")
+    return root_node.result, stats
+
+
+def run_upcast_tree_edges(graph: Graph, tree: ShortestPathTree
+                          ) -> Tuple[List[Any], RunStats]:
+    """The root collects every tree edge by pipelined upcast.
+
+    Used (conceptually) between fault-enumeration waves: after wave k
+    the source must know its tree's edge set to name wave k+1's
+    instances; this primitive prices that knowledge honestly.
+    """
+    children = _tree_children(tree)
+    nodes: Dict[int, NodeAlgorithm] = {}
+    for v in graph.vertices():
+        if v in children:
+            p = tree.parent(v)
+            items = [] if p is None else [(min(p, v), max(p, v))]
+            nodes[v] = UpcastNode(v, p, items)
+        else:
+            nodes[v] = NodeAlgorithm()
+    sim = CongestSimulator(graph, capacity_messages=1)
+    stats = sim.run(nodes)
+    root_node = nodes[tree.root]
+    return list(root_node.collected), stats

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by this package derives from :class:`ReproError`, so a
+caller can catch the whole family with a single ``except`` clause.  The
+subclasses partition errors by subsystem:
+
+* :class:`GraphError` — malformed graphs, unknown vertices or edges.
+* :class:`DisconnectedError` — a path was requested between vertices that
+  are not connected (possibly after removing a fault set).
+* :class:`TiebreakingError` — an antisymmetric tiebreaking weight function
+  failed validation (e.g. a tie survived the perturbation).
+* :class:`RestorationError` — restoration-by-concatenation could not
+  produce a valid replacement path (this indicates a non-restorable
+  scheme, never a bug in a scheme built from a valid ATW function).
+* :class:`CongestError` — a distributed algorithm violated the CONGEST
+  model contract enforced by the simulator (message too large, message
+  sent to a non-neighbour, ...).
+* :class:`LabelingError` — a fault-tolerant distance label failed to
+  decode or a query referenced a vertex outside the labeled graph.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """A graph operation received invalid input (unknown vertex, ...)."""
+
+
+class DisconnectedError(GraphError):
+    """No path exists between the requested endpoints.
+
+    Attributes
+    ----------
+    source, target:
+        The endpoints of the failed query.
+    faults:
+        The fault set (tuple of edges) active for the query, possibly
+        empty.
+    """
+
+    def __init__(self, source, target, faults=()):
+        self.source = source
+        self.target = target
+        self.faults = tuple(faults)
+        message = f"no path from {source!r} to {target!r}"
+        if self.faults:
+            message += f" avoiding faults {sorted(self.faults)!r}"
+        super().__init__(message)
+
+
+class TiebreakingError(ReproError):
+    """An antisymmetric tiebreaking weight function failed validation."""
+
+
+class RestorationError(ReproError):
+    """Restoration-by-concatenation failed to find a replacement path."""
+
+
+class CongestError(ReproError):
+    """A distributed algorithm violated the CONGEST model contract."""
+
+
+class LabelingError(ReproError):
+    """A distance label could not be encoded, decoded, or queried."""

@@ -1,0 +1,24 @@
+"""Graph substrate: representation, fault views, generators.
+
+The paper's setting is undirected, unweighted, simple graphs.  The central
+type is :class:`~repro.graphs.base.Graph`; edge faults are modelled
+non-destructively by :class:`~repro.graphs.views.FaultView` so that a
+single graph instance can serve many concurrent fault scenarios.
+
+Synthetic workloads live in :mod:`repro.graphs.generators`, and the
+Appendix-B lower-bound families in :mod:`repro.graphs.lowerbound`.
+"""
+
+from repro.graphs.base import Graph, canonical_edge
+from repro.graphs.views import FaultView, GraphLike
+from repro.graphs import generators
+from repro.graphs import lowerbound
+
+__all__ = [
+    "Graph",
+    "FaultView",
+    "GraphLike",
+    "canonical_edge",
+    "generators",
+    "lowerbound",
+]

@@ -1,0 +1,247 @@
+"""Undirected, unweighted, simple graph on integer vertices.
+
+The whole library standardises on vertices being the integers
+``0 .. n-1``.  Undirected edges are *canonical pairs* ``(u, v)`` with
+``u < v``; directed arcs (used by the reweighted graph ``G*`` of the
+paper) are plain ordered pairs.  Keeping edges as small tuples of ints
+makes fault sets hashable, cheap to copy, and trivially serialisable.
+
+The class is deliberately minimal: it supports construction, queries and
+conversion, but *not* edge deletion.  Edge faults are expressed through
+:class:`repro.graphs.views.FaultView`, which presents ``G \\ F`` without
+mutating ``G``.  This mirrors the paper's usage, where the base graph is
+fixed and many fault scenarios are examined against it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Set, Tuple
+
+from repro.exceptions import GraphError
+
+Edge = Tuple[int, int]
+
+
+def canonical_edge(u: int, v: int) -> Edge:
+    """Return the canonical (sorted) form of the undirected edge ``{u, v}``.
+
+    >>> canonical_edge(3, 1)
+    (1, 3)
+    """
+    if u == v:
+        raise GraphError(f"self-loop ({u}, {v}) is not a valid edge")
+    return (u, v) if u < v else (v, u)
+
+
+class Graph:
+    """An undirected, unweighted, simple graph on vertices ``0 .. n-1``.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices.  Vertices are implicitly ``range(num_vertices)``.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Orientation and duplicates are
+        ignored; self-loops raise :class:`~repro.exceptions.GraphError`.
+
+    Examples
+    --------
+    >>> g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])  # a C4
+    >>> g.n, g.m
+    (4, 4)
+    >>> sorted(g.neighbors(0))
+    [1, 3]
+    >>> g.has_edge(2, 1)
+    True
+    """
+
+    __slots__ = ("_n", "_adj", "_m")
+
+    def __init__(self, num_vertices: int = 0, edges: Iterable[Edge] = ()):
+        if num_vertices < 0:
+            raise GraphError(f"num_vertices must be >= 0, got {num_vertices}")
+        self._n = num_vertices
+        self._adj: List[Set[int]] = [set() for _ in range(num_vertices)]
+        self._m = 0
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_vertex(self) -> int:
+        """Append a fresh vertex and return its id."""
+        self._adj.append(set())
+        self._n += 1
+        return self._n - 1
+
+    def add_vertices(self, count: int) -> range:
+        """Append ``count`` fresh vertices; return their id range."""
+        if count < 0:
+            raise GraphError(f"count must be >= 0, got {count}")
+        start = self._n
+        for _ in range(count):
+            self.add_vertex()
+        return range(start, self._n)
+
+    def add_edge(self, u: int, v: int) -> Edge:
+        """Insert the undirected edge ``{u, v}``; return its canonical form.
+
+        Inserting an existing edge is a no-op (simple graph).
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        edge = canonical_edge(u, v)
+        if v not in self._adj[u]:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+            self._m += 1
+        return edge
+
+    def add_path(self, vertices: Iterable[int]) -> None:
+        """Insert edges forming a path through ``vertices`` in order."""
+        sequence = list(vertices)
+        for u, v in zip(sequence, sequence[1:]):
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of undirected edges."""
+        return self._m
+
+    def vertices(self) -> range:
+        """All vertex ids, in order."""
+        return range(self._n)
+
+    def has_vertex(self, v: int) -> bool:
+        return 0 <= v < self._n
+
+    def has_edge(self, u: int, v: int) -> bool:
+        if not (self.has_vertex(u) and self.has_vertex(v)) or u == v:
+            return False
+        return v in self._adj[u]
+
+    def neighbors(self, v: int) -> Iterator[int]:
+        """Iterate over the neighbours of ``v`` (unspecified order)."""
+        self._check_vertex(v)
+        return iter(self._adj[v])
+
+    def sorted_neighbors(self, v: int) -> List[int]:
+        """Neighbours of ``v`` in ascending order (deterministic walks)."""
+        self._check_vertex(v)
+        return sorted(self._adj[v])
+
+    def degree(self, v: int) -> int:
+        self._check_vertex(v)
+        return len(self._adj[v])
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over canonical undirected edges, lexicographically."""
+        for u in range(self._n):
+            for v in self._adj[u]:
+                if u < v:
+                    yield (u, v)
+
+    def arcs(self) -> Iterator[Edge]:
+        """Iterate over both orientations of every edge.
+
+        This is the arc set of the symmetric directed graph the paper
+        obtains by replacing each undirected edge with two directed ones
+        (Section 3.1).
+        """
+        for u in range(self._n):
+            for v in self._adj[u]:
+                yield (u, v)
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def without(self, faults: Iterable[Edge]):
+        """Return a read-only view of ``G \\ F`` for the fault set ``F``.
+
+        ``faults`` may contain edges in either orientation; edges absent
+        from the graph are ignored (removing them is a no-op), matching
+        the paper's convention that a fault set is just a set of edges.
+        """
+        from repro.graphs.views import FaultView
+
+        return FaultView(self, faults)
+
+    def copy(self) -> "Graph":
+        clone = Graph(self._n)
+        clone._adj = [set(neighbours) for neighbours in self._adj]
+        clone._m = self._m
+        return clone
+
+    def is_connected(self) -> bool:
+        """True when the graph is connected (the empty graph counts)."""
+        if self._n == 0:
+            return True
+        seen = {0}
+        stack = [0]
+        while stack:
+            u = stack.pop()
+            for v in self._adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return len(seen) == self._n
+
+    # ------------------------------------------------------------------
+    # interop
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` (for cross-checks)."""
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(self.vertices())
+        nx_graph.add_edges_from(self.edges())
+        return nx_graph
+
+    @classmethod
+    def from_networkx(cls, nx_graph) -> "Graph":
+        """Build from a networkx graph, relabelling vertices to ``0..n-1``.
+
+        Vertex order follows ``sorted`` order when the labels are
+        sortable, insertion order otherwise.
+        """
+        nodes = list(nx_graph.nodes())
+        try:
+            nodes.sort()
+        except TypeError:
+            pass
+        index = {node: i for i, node in enumerate(nodes)}
+        graph = cls(len(nodes))
+        for u, v in nx_graph.edges():
+            if u != v:
+                graph.add_edge(index[u], index[v])
+        return graph
+
+    # ------------------------------------------------------------------
+    # dunder / internal
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"Graph(n={self._n}, m={self._m})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._n == other._n and self._adj == other._adj
+
+    def __hash__(self):
+        raise TypeError("Graph is mutable and unhashable")
+
+    def _check_vertex(self, v: int) -> None:
+        if not isinstance(v, int):
+            raise GraphError(f"vertices must be ints, got {v!r}")
+        if not 0 <= v < self._n:
+            raise GraphError(f"vertex {v} outside range(0, {self._n})")

@@ -1,0 +1,244 @@
+"""Deterministic synthetic graph generators used by tests and benchmarks.
+
+All random generators take an explicit ``seed`` and use a private
+:class:`random.Random` instance, so every experiment in the benchmark
+harness is reproducible bit-for-bit.  Families mirror the workloads a
+network-design paper would be exercised on: sparse random graphs,
+meshes/tori (data-centre style topologies), hypercubes, and the small
+pathological instances from the paper (``C4`` from Appendix A).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Optional
+
+from repro.exceptions import GraphError
+from repro.graphs.base import Graph
+
+
+def cycle(n: int) -> Graph:
+    """The cycle ``C_n`` (``n >= 3``).
+
+    ``cycle(4)`` is the Appendix-A counterexample graph showing symmetry
+    and 1-restorability are incompatible (Theorem 37).
+    """
+    if n < 3:
+        raise GraphError(f"a cycle needs >= 3 vertices, got {n}")
+    graph = Graph(n)
+    for v in range(n):
+        graph.add_edge(v, (v + 1) % n)
+    return graph
+
+
+def path(n: int) -> Graph:
+    """The path graph ``P_n`` on ``n`` vertices."""
+    graph = Graph(n)
+    graph.add_path(range(n))
+    return graph
+
+
+def complete(n: int) -> Graph:
+    """The complete graph ``K_n``."""
+    graph = Graph(n)
+    for u, v in itertools.combinations(range(n), 2):
+        graph.add_edge(u, v)
+    return graph
+
+
+def complete_bipartite(a: int, b: int) -> Graph:
+    """``K_{a,b}`` with left part ``0..a-1`` and right part ``a..a+b-1``."""
+    graph = Graph(a + b)
+    for u in range(a):
+        for v in range(a, a + b):
+            graph.add_edge(u, v)
+    return graph
+
+
+def star(n: int) -> Graph:
+    """A star: centre ``0`` joined to leaves ``1..n-1``."""
+    graph = Graph(n)
+    for v in range(1, n):
+        graph.add_edge(0, v)
+    return graph
+
+
+def grid(rows: int, cols: int) -> Graph:
+    """The ``rows x cols`` 2-D grid mesh.
+
+    Vertex ``(r, c)`` maps to id ``r * cols + c``.  Grids are heavily
+    tied: between opposite corners there are exponentially many shortest
+    paths, which makes them the canonical stress test for tiebreaking.
+    """
+    if rows < 1 or cols < 1:
+        raise GraphError("grid dimensions must be >= 1")
+    graph = Graph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                graph.add_edge(v, v + 1)
+            if r + 1 < rows:
+                graph.add_edge(v, v + cols)
+    return graph
+
+
+def torus(rows: int, cols: int) -> Graph:
+    """The 2-D torus (grid with wraparound).  Requires dims >= 3."""
+    if rows < 3 or cols < 3:
+        raise GraphError("torus dimensions must be >= 3 (else multi-edges)")
+    graph = Graph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            graph.add_edge(v, r * cols + (c + 1) % cols)
+            graph.add_edge(v, ((r + 1) % rows) * cols + c)
+    return graph
+
+
+def hypercube(dimension: int) -> Graph:
+    """The ``dimension``-dimensional hypercube ``Q_d`` on ``2^d`` vertices."""
+    if dimension < 1:
+        raise GraphError("hypercube dimension must be >= 1")
+    n = 1 << dimension
+    graph = Graph(n)
+    for v in range(n):
+        for bit in range(dimension):
+            u = v ^ (1 << bit)
+            if u > v:
+                graph.add_edge(v, u)
+    return graph
+
+
+def erdos_renyi(n: int, p: float, seed: int = 0) -> Graph:
+    """The Erdős–Rényi graph ``G(n, p)`` with a fixed seed."""
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"p must lie in [0, 1], got {p}")
+    rng = random.Random(seed)
+    graph = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                graph.add_edge(u, v)
+    return graph
+
+
+def gnm(n: int, m: int, seed: int = 0) -> Graph:
+    """A uniform random graph with exactly ``n`` vertices and ``m`` edges."""
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise GraphError(f"m={m} exceeds max {max_edges} for n={n}")
+    rng = random.Random(seed)
+    graph = Graph(n)
+    while graph.m < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+def connected_erdos_renyi(n: int, p: float, seed: int = 0) -> Graph:
+    """``G(n, p)`` patched to be connected.
+
+    A random spanning tree (uniform attachment) is inserted first, then
+    ``G(n, p)`` edges on top.  This keeps expected degree ~``np`` while
+    guaranteeing every pair has a path, which most experiments need.
+    """
+    rng = random.Random(seed)
+    graph = Graph(n)
+    order = list(range(n))
+    rng.shuffle(order)
+    for i in range(1, n):
+        graph.add_edge(order[i], order[rng.randrange(i)])
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                graph.add_edge(u, v)
+    return graph
+
+
+def random_regular(n: int, degree: int, seed: int = 0) -> Graph:
+    """A random ``degree``-regular graph (via networkx, relabelled)."""
+    import networkx as nx
+
+    nx_graph = nx.random_regular_graph(degree, n, seed=seed)
+    return Graph.from_networkx(nx_graph)
+
+
+def biclique_chain(blocks: int, block_size: int) -> Graph:
+    """A chain of ``blocks`` complete-bipartite blocks glued at cut vertices.
+
+    Produces graphs with very many tied shortest paths between distant
+    vertices (each block multiplies the tie count by ``block_size``),
+    used to stress-test tiebreaking uniqueness.
+    """
+    if blocks < 1 or block_size < 1:
+        raise GraphError("blocks and block_size must be >= 1")
+    graph = Graph(1)
+    left = 0
+    for _ in range(blocks):
+        middle = graph.add_vertices(block_size)
+        right = graph.add_vertex()
+        for v in middle:
+            graph.add_edge(left, v)
+            graph.add_edge(v, right)
+        left = right
+    return graph
+
+
+def petersen() -> Graph:
+    """The Petersen graph (classic 3-regular counterexample factory)."""
+    outer = [(i, (i + 1) % 5) for i in range(5)]
+    inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+    spokes = [(i, 5 + i) for i in range(5)]
+    return Graph(10, outer + inner + spokes)
+
+
+def fault_sample(graph: Graph, count: int, seed: int = 0,
+                 size: int = 1) -> list:
+    """Sample ``count`` distinct fault sets of ``size`` edges from ``graph``.
+
+    Returns a list of tuples of canonical edges; useful for sampled
+    verification when the full fault space is too large to enumerate.
+    """
+    rng = random.Random(seed)
+    edges = list(graph.edges())
+    if size > len(edges):
+        raise GraphError(f"cannot pick {size} faults from {len(edges)} edges")
+    seen = set()
+    out = []
+    limit = count * 50 + 100
+    attempts = 0
+    while len(out) < count and attempts < limit:
+        attempts += 1
+        faults = tuple(sorted(rng.sample(edges, size)))
+        if faults not in seen:
+            seen.add(faults)
+            out.append(faults)
+    return out
+
+
+def by_name(name: str, n: int, seed: int = 0, p: Optional[float] = None) -> Graph:
+    """Dispatch helper used by the benchmark harness.
+
+    ``name`` is one of ``er``, ``grid``, ``torus``, ``hypercube``,
+    ``cycle``, ``path``, ``complete``.  ``n`` is interpreted per family
+    (side length for grid/torus, dimension for hypercube).
+    """
+    if name == "er":
+        return connected_erdos_renyi(n, p if p is not None else 4.0 / n, seed)
+    if name == "grid":
+        return grid(n, n)
+    if name == "torus":
+        return torus(n, n)
+    if name == "hypercube":
+        return hypercube(n)
+    if name == "cycle":
+        return cycle(n)
+    if name == "path":
+        return path(n)
+    if name == "complete":
+        return complete(n)
+    raise GraphError(f"unknown graph family {name!r}")

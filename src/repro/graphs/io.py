@@ -1,0 +1,134 @@
+"""Serialization for graphs and fault-tolerant artifacts.
+
+Plain-text edge lists for graphs (interoperable with networkx and
+every graph tool in existence) and JSON for the library's derived
+artifacts (preservers, distance labelings), so experiments can be
+checkpointed and artifacts shipped between processes.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from pathlib import Path as FilePath
+from typing import Union
+
+from repro.exceptions import GraphError
+from repro.graphs.base import Graph
+
+PathLike = Union[str, FilePath]
+
+
+# ----------------------------------------------------------------------
+# edge lists
+# ----------------------------------------------------------------------
+def write_edgelist(graph: Graph, path: PathLike) -> None:
+    """Write ``n`` on the first line, then one ``u v`` pair per line."""
+    lines = [str(graph.n)]
+    lines.extend(f"{u} {v}" for u, v in graph.edges())
+    FilePath(path).write_text("\n".join(lines) + "\n")
+
+
+def read_edgelist(path: PathLike) -> Graph:
+    """Inverse of :func:`write_edgelist`."""
+    text = FilePath(path).read_text()
+    lines = [ln for ln in text.splitlines() if ln.strip()
+             and not ln.lstrip().startswith("#")]
+    if not lines:
+        raise GraphError(f"empty edge list file {path}")
+    try:
+        n = int(lines[0])
+    except ValueError as exc:
+        raise GraphError(
+            f"first line of {path} must be the vertex count"
+        ) from exc
+    graph = Graph(n)
+    for ln in lines[1:]:
+        parts = ln.split()
+        if len(parts) != 2:
+            raise GraphError(f"malformed edge line {ln!r} in {path}")
+        graph.add_edge(int(parts[0]), int(parts[1]))
+    return graph
+
+
+def edgelist_string(graph: Graph) -> str:
+    """The edge-list encoding as a string (for embedding/logging)."""
+    lines = [str(graph.n)]
+    lines.extend(f"{u} {v}" for u, v in graph.edges())
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# preservers
+# ----------------------------------------------------------------------
+def preserver_to_json(preserver) -> str:
+    """Serialise a :class:`repro.preservers.ft_bfs.Preserver`."""
+    return json.dumps({
+        "kind": "preserver",
+        "n": preserver.graph.n,
+        "sources": list(preserver.sources),
+        "faults_tolerated": preserver.faults_tolerated,
+        "edges": sorted(list(e) for e in preserver.edges),
+    })
+
+
+def preserver_from_json(payload: str, graph: Graph):
+    """Rehydrate a preserver against its (caller-supplied) base graph."""
+    from repro.preservers.ft_bfs import Preserver
+
+    data = json.loads(payload)
+    if data.get("kind") != "preserver":
+        raise GraphError("payload is not a serialised preserver")
+    if data["n"] != graph.n:
+        raise GraphError(
+            f"preserver was built on n={data['n']}, graph has n={graph.n}"
+        )
+    return Preserver(
+        graph=graph,
+        edges=frozenset(tuple(e) for e in data["edges"]),
+        sources=tuple(data["sources"]),
+        faults_tolerated=data["faults_tolerated"],
+    )
+
+
+# ----------------------------------------------------------------------
+# distance labelings
+# ----------------------------------------------------------------------
+def labeling_to_json(labeling) -> str:
+    """Serialise a :class:`repro.labeling.DistanceLabeling`.
+
+    Label bitstrings are base64-encoded with their exact bit length, so
+    the round trip preserves the measured label sizes.
+    """
+    from repro.labeling.scheme import VertexLabel  # noqa: F401 (doc link)
+
+    vertices = {}
+    for v in labeling._labels:  # labels are the object's whole state
+        label = labeling.label(v)
+        vertices[str(v)] = {
+            "bits": label.bits,
+            "data": base64.b64encode(label.data).decode("ascii"),
+        }
+    return json.dumps({
+        "kind": "labeling",
+        "f": labeling.faults_tolerated - 1,
+        "labels": vertices,
+    })
+
+
+def labeling_from_json(payload: str):
+    """Inverse of :func:`labeling_to_json`."""
+    from repro.labeling.scheme import DistanceLabeling, VertexLabel
+
+    data = json.loads(payload)
+    if data.get("kind") != "labeling":
+        raise GraphError("payload is not a serialised labeling")
+    labels = {}
+    for key, entry in data["labels"].items():
+        vertex = int(key)
+        labels[vertex] = VertexLabel(
+            vertex=vertex,
+            data=base64.b64decode(entry["data"]),
+            bits=entry["bits"],
+        )
+    return DistanceLabeling(labels, data["f"])

@@ -1,0 +1,269 @@
+"""Appendix-B lower-bound constructions (Theorem 27, Figures 2-3).
+
+The paper shows that consistency + stability alone cannot beat the
+``O(n^{2-1/2^f} |S|^{1/2^f})`` preserver bound: there are graphs and a
+*bad* (consistent, stable, symmetric) tiebreaking scheme forcing
+``Ω(n^{2-1/2^f} σ^{1/2^f})`` edges.  This module builds those graphs:
+
+* :func:`build_gf` — the recursive tree gadget ``G_f(d)``: a spine
+  ``P_f``, one child copy of ``G_{f-1}(sqrt(d))`` hung off each spine
+  vertex by a length-equalising path ``Q^f_i``, and per-leaf *labels*:
+  the fault set (one spine edge per level) under which the root-to-leaf
+  path survives while everything to the right is cut (Lemma 38).
+* :func:`build_lower_bound_instance` — ``G*_f(V, E, W)``: ``G_f(d)``
+  plus a vertex set ``X`` fully bipartite to the leaves, with the
+  adversarial weight function ``W`` whose unique shortest paths route
+  every replacement path through a *distinct* bipartite edge.
+* :func:`build_multi_source_instance` — the σ-source extension.
+* :func:`forced_preserver_edges` — replays the labelled fault sets and
+  returns the edges any preserver honouring the bad scheme must carry;
+  the Theorem-27 benchmark checks this count against the Ω-bound.
+
+Deviations from the paper's text (documented per DESIGN.md):
+
+* The leaf perturbation is ``λ - j + 1`` rather than ``λ - j`` so every
+  bipartite edge is strictly heavier than a spine edge; with the
+  paper's literal ``λ - j`` the last leaf's edges tie with unperturbed
+  edges and uniqueness fails on x-to-x' paths.  Monotonicity — the
+  property the proof uses — is unchanged.
+* The stray ``v*`` in the paper's vertex inventory (never referenced
+  again) is omitted; vertex counts are balanced through ``|X|``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.exceptions import GraphError
+from repro.graphs.base import Edge, Graph, canonical_edge
+
+
+@dataclass
+class GfGadget:
+    """The recursive gadget ``G_f(d)`` embedded in a shared graph.
+
+    Attributes
+    ----------
+    root:
+        ``r(G_f(d))`` — the first spine vertex.
+    spine:
+        The vertices of ``P_f`` in order.
+    leaves:
+        ``Leaf(G_f(d))`` in left-to-right order.
+    labels:
+        ``Label_f(z)`` per leaf: the fault set (≤ f edges, one spine
+        edge per recursion level) keeping the root-to-``z`` path alive.
+    depth:
+        Hop distance from root to every leaf (equal across leaves —
+        Lemma 38(4)).
+    """
+
+    root: int
+    spine: List[int]
+    leaves: List[int]
+    labels: Dict[int, Tuple[Edge, ...]] = field(default_factory=dict)
+    depth: int = 0
+
+
+def _attach_path(graph: Graph, start: int, length: int) -> int:
+    """Append a fresh path of ``length`` edges from ``start``; return its
+    far endpoint (``start`` itself when ``length == 0``)."""
+    current = start
+    for _ in range(length):
+        nxt = graph.add_vertex()
+        graph.add_edge(current, nxt)
+        current = nxt
+    return current
+
+
+def _build_gf_into(graph: Graph, f: int, d: int) -> GfGadget:
+    if f < 1:
+        raise GraphError(f"G_f(d) needs f >= 1, got {f}")
+    if d < 1:
+        raise GraphError(f"G_f(d) needs d >= 1, got {d}")
+    spine = list(graph.add_vertices(d))
+    graph.add_path(spine)
+    gadget = GfGadget(root=spine[0], spine=spine, leaves=[])
+
+    if f == 1:
+        # d disjoint paths Q^1_i of length d - i + 1 ending at leaves.
+        for i, u in enumerate(spine, start=1):
+            leaf = _attach_path(graph, u, d - i + 1)
+            gadget.leaves.append(leaf)
+            if i < d:
+                gadget.labels[leaf] = (canonical_edge(spine[i - 1], spine[i]),)
+            else:
+                gadget.labels[leaf] = ()
+        gadget.depth = d  # (i - 1) spine hops + (d - i + 1) path hops
+        return gadget
+
+    child_d = max(1, math.isqrt(d))
+    child_depth = None
+    for j, u in enumerate(spine, start=1):
+        # Q^f_j of length d - j + 1 into the child copy's root.
+        bridge_end = _attach_path(graph, u, d - j + 1 - 1)
+        child = _build_gf_into(graph, f - 1, child_d)
+        graph.add_edge(bridge_end, child.root)
+        if child_depth is None:
+            child_depth = child.depth
+        prefix: Tuple[Edge, ...]
+        if j < d:
+            prefix = (canonical_edge(spine[j - 1], spine[j]),)
+        else:
+            prefix = ()
+        for leaf in child.leaves:
+            gadget.leaves.append(leaf)
+            gadget.labels[leaf] = prefix + child.labels[leaf]
+    gadget.depth = d + (child_depth or 0)
+    return gadget
+
+
+def build_gf(f: int, d: int) -> Tuple[Graph, GfGadget]:
+    """Build ``G_f(d)`` standalone.  Returns ``(graph, gadget)``."""
+    graph = Graph()
+    gadget = _build_gf_into(graph, f, d)
+    return graph, gadget
+
+
+@dataclass
+class LowerBoundInstance:
+    """A fully-assembled ``G*_f`` instance with its adversarial scheme.
+
+    ``scheme`` is a :class:`repro.core.scheme.WeightedTiebreaking` over
+    the symmetric weight function ``W`` — consistent, stable, and
+    symmetric, yet forcing the Ω-size preserver.
+    """
+
+    graph: Graph
+    f: int
+    sources: List[int]
+    gadgets: List[GfGadget]
+    x_vertices: List[int]
+    bipartite_edges: List[Edge]
+    scale: int
+    scheme: object = None  # WeightedTiebreaking, set by the builder
+
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+    def all_labels(self) -> List[Tuple[int, int, Tuple[Edge, ...]]]:
+        """Triples ``(source, leaf, fault-label)`` across all gadgets."""
+        out = []
+        for source, gadget in zip(self.sources, self.gadgets):
+            for leaf in gadget.leaves:
+                out.append((source, leaf, gadget.labels[leaf]))
+        return out
+
+
+def _make_weight_scheme(graph: Graph, leaf_rank: Dict[Edge, int],
+                        num_leaves: int):
+    """The adversarial weight ``W``: spine edges cost ``scale``, the
+    bipartite edge at leaf rank ``j`` costs ``scale + (λ - j + 1)``."""
+    from repro.core.scheme import WeightedTiebreaking
+
+    n = max(graph.n, 2)
+    scale = n ** 4
+    perturb = {
+        edge: (num_leaves - j + 1) for edge, j in leaf_rank.items()
+    }
+
+    def weight(u: int, v: int) -> int:
+        return scale + perturb.get(canonical_edge(u, v), 0)
+
+    return WeightedTiebreaking(graph, weight, scale, name="adversarial"), scale
+
+
+def build_lower_bound_instance(n: int, f: int) -> LowerBoundInstance:
+    """The single-source ``G*_f(V, E, W)`` on ~``n`` vertices.
+
+    Uses ``d = floor(sqrt(n / (4 f)))`` as in the paper, builds
+    ``G_f(d)``, attaches ``X`` (all remaining vertex budget) to the last
+    spine vertex and completely to the leaves, and installs the
+    adversarial weights.
+    """
+    if f < 1:
+        raise GraphError(f"need f >= 1, got {f}")
+    d = max(2, math.isqrt(n // (4 * f)))
+    graph = Graph()
+    gadget = _build_gf_into(graph, f, d)
+    gadget_size = graph.n
+    chi = max(1, n - gadget_size)
+    x_vertices = list(graph.add_vertices(chi))
+    last_spine = gadget.spine[-1]
+    bipartite: List[Edge] = []
+    leaf_rank: Dict[Edge, int] = {}
+    for x in x_vertices:
+        graph.add_edge(last_spine, x)
+        for j, leaf in enumerate(gadget.leaves, start=1):
+            edge = graph.add_edge(leaf, x)
+            bipartite.append(edge)
+            leaf_rank[edge] = j
+    scheme, scale = _make_weight_scheme(graph, leaf_rank, len(gadget.leaves))
+    return LowerBoundInstance(
+        graph=graph, f=f, sources=[gadget.root], gadgets=[gadget],
+        x_vertices=x_vertices, bipartite_edges=bipartite, scale=scale,
+        scheme=scheme,
+    )
+
+
+def build_multi_source_instance(n: int, f: int,
+                                sigma: int) -> LowerBoundInstance:
+    """The σ-source extension (Figure 2, bottom).
+
+    σ copies of ``G_f(d)`` with ``d = floor(sqrt(n / (4 f σ)))`` share
+    one vertex set ``X`` of size Θ(n), completely bipartite to every
+    copy's leaf set.
+    """
+    if sigma < 1:
+        raise GraphError(f"need sigma >= 1, got {sigma}")
+    d = max(2, math.isqrt(n // (4 * f * sigma)))
+    graph = Graph()
+    gadgets = [_build_gf_into(graph, f, d) for _ in range(sigma)]
+    chi = max(1, n - graph.n)
+    x_vertices = list(graph.add_vertices(chi))
+    bipartite: List[Edge] = []
+    leaf_rank: Dict[Edge, int] = {}
+    max_leaves = max(len(g.leaves) for g in gadgets)
+    for gadget in gadgets:
+        last_spine = gadget.spine[-1]
+        for x in x_vertices:
+            graph.add_edge(last_spine, x)
+            for j, leaf in enumerate(gadget.leaves, start=1):
+                edge = graph.add_edge(leaf, x)
+                bipartite.append(edge)
+                leaf_rank[edge] = j
+    scheme, scale = _make_weight_scheme(graph, leaf_rank, max_leaves)
+    return LowerBoundInstance(
+        graph=graph, f=f, sources=[g.root for g in gadgets],
+        gadgets=gadgets, x_vertices=x_vertices, bipartite_edges=bipartite,
+        scale=scale, scheme=scheme,
+    )
+
+
+def forced_preserver_edges(instance: LowerBoundInstance) -> frozenset:
+    """Replay the labelled fault sets; return every forced edge.
+
+    For each source ``s`` and leaf label ``F = Label(z)``, the bad
+    scheme's replacement paths ``pi(s, x | F)`` for all ``x ∈ X`` are
+    computed and their edges unioned.  Any ``S x V`` preserver that
+    respects the scheme must contain them all; Theorem 27 says the
+    union has size ``Ω(n^{2-1/2^f} σ^{1/2^f})``.
+    """
+    forced = set()
+    x_set = set(instance.x_vertices)
+    for source, _leaf, label in instance.all_labels():
+        tree = instance.scheme.tree(source, label)
+        for x in x_set:
+            if tree.reaches(x):
+                path = tree.path_to(x)
+                forced.update(path.edges())
+    return frozenset(forced)
+
+
+def theoretical_lower_bound(n: int, f: int, sigma: int = 1) -> float:
+    """The Ω-bound ``sigma^{1/2^f} * (n/f)^{2 - 1/2^f}`` (Theorem 27)."""
+    exp = 1.0 / (2 ** f)
+    return (sigma ** exp) * ((n / f) ** (2 - exp))

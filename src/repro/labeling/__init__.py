@@ -1,0 +1,11 @@
+"""Fault-tolerant exact distance labeling (Theorem 30).
+
+* :mod:`repro.labeling.scheme` — assign each vertex a bitstring label
+  of ``O(n^{2-1/2^f} log n)`` bits such that ``dist_{G \\ F}(s, t)``
+  for ``|F| <= f + 1`` is recoverable from the labels of ``s`` and
+  ``t`` alone (no edge labels, no global state).
+"""
+
+from repro.labeling.scheme import DistanceLabeling, VertexLabel
+
+__all__ = ["DistanceLabeling", "VertexLabel"]

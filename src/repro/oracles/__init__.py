@@ -1,0 +1,20 @@
+"""Distance sensitivity oracles (the Section 4.3 connection).
+
+The paper relates its FT distance labels to *distance sensitivity
+oracles* (DSOs): centralized structures answering
+``dist_{G \\ F}(s, t)`` queries fast after preprocessing
+(Weimann-Yuster [37, 38], van den Brand-Saranurak [36]).  Labels
+distribute that information; a DSO centralises it.
+
+:class:`~repro.oracles.dso.SourcewiseDSO` is the single-fault oracle
+this library's machinery yields naturally: per source, the selected
+tree plus a replacement-distance row per tree edge, giving O(1)
+queries.  Preprocessing can run inside the 1-FT ``{s} x V`` preserver
+instead of ``G`` — same answers by the preserver property, and the
+``bench_ablation_dso`` benchmark measures the dense-graph speedup that
+trick buys (preservers as *computational* objects, not just storage).
+"""
+
+from repro.oracles.dso import SourcewiseDSO
+
+__all__ = ["SourcewiseDSO"]

@@ -1,0 +1,25 @@
+"""Fault-tolerant distance preservers (Section 4.1 / 4.4).
+
+* :mod:`repro.preservers.ft_bfs` — f-FT ``S x V`` preservers by
+  overlaying all replacement paths selected by a consistent stable
+  RPTS (Theorem 26): size ``O(n^{2-1/2^f} |S|^{1/2^f})``.
+* :mod:`repro.preservers.subset` — (f+1)-FT ``S x S`` preservers from
+  the same overlay when the scheme is (f+1)-restorable (Theorem 31).
+* :mod:`repro.preservers.verification` — brute-force checkers of the
+  preserver property (Definition 4).
+"""
+
+from repro.preservers.ft_bfs import Preserver, ft_sv_preserver
+from repro.preservers.subset import ft_ss_preserver
+from repro.preservers.verification import (
+    preserver_violations,
+    verify_preserver,
+)
+
+__all__ = [
+    "Preserver",
+    "ft_sv_preserver",
+    "ft_ss_preserver",
+    "preserver_violations",
+    "verify_preserver",
+]

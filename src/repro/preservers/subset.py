@@ -1,0 +1,80 @@
+"""(f+1)-FT ``S x S`` preservers from restorable overlays (Theorem 31).
+
+The reduction is the paper's headline application: take an
+(f+1)-restorable RPTS ``pi``, build the *f*-FT ``S x V`` preserver by
+overlay (one fewer fault than the target!), and restorability pays the
+missing fault: for ``|F| <= f + 1``, some replacement ``s ~> t`` path
+decomposes as ``pi(s, x | F') + reverse(pi(t, x | F'))`` with
+``|F'| <= f``, and both halves are ``S x V`` selections already in the
+overlay.  Size: ``O(n^{2-1/2^f} |S|^{1/2^f})`` — Theorem 5.
+
+For ``f = 0`` this says: the union of |S| shortest-path trees computed
+with 1-restorable tiebreaking is a 1-FT ``S x S`` preserver on
+``O(|S| n)`` edges, recovering [9, 8] "simply by taking the union of
+BFS trees from each source" (Section 1.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.exceptions import GraphError
+from repro.graphs.base import Graph
+from repro.core.scheme import RestorableTiebreaking
+from repro.preservers.ft_bfs import Preserver, ft_sv_preserver
+
+
+def ft_ss_preserver(graph: Graph, sources: Iterable[int],
+                    faults_tolerated: int,
+                    scheme: Optional[RestorableTiebreaking] = None,
+                    seed: int = 0,
+                    max_fault_sets: Optional[int] = None) -> Preserver:
+    """Build an ``S x S`` preserver tolerating ``faults_tolerated`` faults.
+
+    Parameters
+    ----------
+    graph:
+        The input graph.
+    sources:
+        The subset ``S`` whose pairwise distances must survive.
+    faults_tolerated:
+        The number of simultaneous edge faults to tolerate between
+        sources (the paper's ``f + 1``); must be >= 1.
+    scheme:
+        Optional prebuilt restorable scheme.  It must come from an ATW
+        function valid for at least ``faults_tolerated`` faults; a
+        fresh one is drawn otherwise.
+    seed:
+        Seed for the fresh scheme.
+    max_fault_sets:
+        Passed through to the overlay (see
+        :func:`~repro.preservers.ft_bfs.ft_sv_preserver`).
+
+    Returns
+    -------
+    Preserver
+        Overlay depth is ``faults_tolerated - 1``; by Theorem 31 the
+        result preserves all ``S x S`` distances under up to
+        ``faults_tolerated`` faults.
+    """
+    if faults_tolerated < 1:
+        raise GraphError(
+            f"faults_tolerated must be >= 1, got {faults_tolerated}"
+        )
+    if scheme is None:
+        scheme = RestorableTiebreaking.build(
+            graph, f=faults_tolerated, seed=seed
+        )
+    overlay_depth = faults_tolerated - 1
+    preserver = ft_sv_preserver(
+        scheme, sources, overlay_depth, max_fault_sets=max_fault_sets
+    )
+    # Re-tag: the S x V overlay tolerates `overlay_depth` faults against
+    # all of V, and `faults_tolerated` faults between sources.
+    return Preserver(
+        graph=preserver.graph,
+        edges=preserver.edges,
+        sources=preserver.sources,
+        faults_tolerated=faults_tolerated,
+        fault_sets_explored=preserver.fault_sets_explored,
+    )

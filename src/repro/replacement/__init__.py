@@ -1,0 +1,35 @@
+"""Replacement-path algorithms (Section 4.2).
+
+* :mod:`repro.replacement.single_pair` — the single-pair replacement
+  paths subroutine (Theorem 28's role): for one pair ``(s, t)``, report
+  ``dist_{G \\ e}(s, t)`` for every edge ``e`` on the selected shortest
+  path, via the weighted-restoration-lemma candidate sweep.
+* :mod:`repro.replacement.subset_rp` — Algorithm 1: ``subset-rp`` for
+  all pairs in ``S x S`` in ``O(σm) + Õ(σ²n)`` time, by solving each
+  pair inside the union of two selected shortest-path trees.
+* :mod:`repro.replacement.baselines` — naive recompute-from-scratch
+  baselines used for correctness oracles and benchmark comparison.
+"""
+
+from repro.replacement.single_pair import (
+    single_pair_replacement_distances,
+    candidate_sweep,
+)
+from repro.replacement.subset_rp import subset_replacement_paths, SubsetRPResult
+from repro.replacement.sourcewise import sourcewise_replacement_distances
+from repro.replacement.baselines import (
+    naive_single_pair_replacement_distances,
+    naive_subset_replacement_paths,
+    naive_sourcewise_replacement_distances,
+)
+
+__all__ = [
+    "single_pair_replacement_distances",
+    "candidate_sweep",
+    "subset_replacement_paths",
+    "SubsetRPResult",
+    "sourcewise_replacement_distances",
+    "naive_single_pair_replacement_distances",
+    "naive_subset_replacement_paths",
+    "naive_sourcewise_replacement_distances",
+]

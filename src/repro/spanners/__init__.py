@@ -1,0 +1,20 @@
+"""Fault-tolerant +4 additive spanners (Lemma 32, Theorem 33).
+
+* :mod:`repro.spanners.additive` — the clustering construction of
+  Lemma 32 on top of subset preservers, giving (f+1)-FT +4 spanners
+  on ``O_f(n^{1 + 2^f/(2^f+1)})`` edges (Theorem 33).
+* :mod:`repro.spanners.verification` — brute-force checkers of the
+  additive-stretch-under-faults guarantee (Definition 6).
+"""
+
+from repro.spanners.additive import Spanner, ft_plus4_spanner
+from repro.spanners.plus2 import ft_plus2_spanner
+from repro.spanners.verification import spanner_violations, verify_spanner
+
+__all__ = [
+    "Spanner",
+    "ft_plus4_spanner",
+    "ft_plus2_spanner",
+    "spanner_violations",
+    "verify_spanner",
+]

@@ -1,0 +1,68 @@
+"""Brute-force verification of FT additive stretch (Definition 6).
+
+An f-FT +k additive spanner must satisfy
+``dist_{H \\ F}(s, t) <= dist_{G \\ F}(s, t) + k`` for *all* vertex
+pairs and all ``|F| <= f``.  As with preservers, the checkers here
+decide this exactly (or over a sampled fault universe) by BFS
+comparison, and return violation tuples for debuggability.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.graphs.base import Edge, Graph, canonical_edge
+from repro.spt.bfs import UNREACHABLE, bfs_distances
+
+
+def spanner_violations(
+    graph: Graph,
+    spanner_edges: Iterable[Edge],
+    f: int = 1,
+    additive: int = 4,
+    fault_sets: Optional[Iterable[Sequence[Edge]]] = None,
+    pairs: Optional[Iterable[Tuple[int, int]]] = None,
+) -> List[Tuple]:
+    """All ``(F, s, t)`` where the spanner exceeds +``additive`` stretch.
+
+    ``fault_sets`` defaults to every subset of size ``<= f`` (exact but
+    exponential; fine on the small graphs used in tests).  A vertex
+    pair disconnected in ``G \\ F`` imposes no requirement.
+    """
+    sub = Graph(graph.n)
+    for u, v in spanner_edges:
+        sub.add_edge(u, v)
+
+    if fault_sets is None:
+        edges = list(graph.edges())
+        fault_sets = itertools.chain.from_iterable(
+            itertools.combinations(edges, size) for size in range(f + 1)
+        )
+
+    bad: List[Tuple] = []
+    for faults in fault_sets:
+        faults = tuple(canonical_edge(u, v) for u, v in faults)
+        g_view = graph.without(faults)
+        h_view = sub.without(faults)
+        for s in graph.vertices():
+            dist_g = bfs_distances(g_view, s)
+            dist_h = bfs_distances(h_view, s)
+            for t in graph.vertices():
+                if t <= s:
+                    continue
+                if pairs is not None and (s, t) not in pairs:
+                    continue
+                if dist_g[t] == UNREACHABLE:
+                    continue
+                if dist_h[t] == UNREACHABLE or dist_h[t] > dist_g[t] + additive:
+                    bad.append((faults, s, t, dist_g[t], dist_h[t]))
+    return bad
+
+
+def verify_spanner(graph: Graph, spanner_edges: Iterable[Edge],
+                   f: int = 1, additive: int = 4, **kwargs) -> bool:
+    """True when :func:`spanner_violations` finds nothing."""
+    return not spanner_violations(
+        graph, spanner_edges, f=f, additive=additive, **kwargs
+    )

@@ -1,0 +1,36 @@
+"""Shortest-path substrate: path algebra, BFS, exact-integer Dijkstra.
+
+This package supplies everything the tiebreaking layer builds on:
+
+* :class:`~repro.spt.paths.Path` — immutable vertex sequences with the
+  concatenation/reversal algebra the restoration lemma manipulates.
+* :mod:`~repro.spt.bfs` — unweighted distances and BFS trees.
+* :mod:`~repro.spt.dijkstra` — Dijkstra over *integer* arc weights (the
+  reweighted graph ``G*`` of Section 3.1), plus an exact counter of
+  minimum-weight paths used to certify tiebreaking uniqueness.
+* :class:`~repro.spt.trees.ShortestPathTree` — parent-pointer trees with
+  path extraction, the object routing tables are derived from.
+* :mod:`~repro.spt.apsp` — all-pairs wrappers, diameter, eccentricity.
+"""
+
+from repro.spt.paths import Path
+from repro.spt.bfs import bfs_distances, bfs_tree
+from repro.spt.dijkstra import dijkstra, count_min_weight_paths
+from repro.spt.trees import ShortestPathTree
+from repro.spt.apsp import (
+    all_pairs_bfs_distances,
+    diameter,
+    eccentricity,
+)
+
+__all__ = [
+    "Path",
+    "bfs_distances",
+    "bfs_tree",
+    "dijkstra",
+    "count_min_weight_paths",
+    "ShortestPathTree",
+    "all_pairs_bfs_distances",
+    "diameter",
+    "eccentricity",
+]

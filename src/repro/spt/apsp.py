@@ -1,0 +1,58 @@
+"""All-pairs helpers: distance matrices, diameter, eccentricity.
+
+Built on repeated BFS (the paper's own observation that multi-source BFS
+is the standard combinatorial APSP for unweighted graphs, Section 1.1).
+These are used as correctness oracles throughout the test-suite and as
+the non-faulty baseline in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.exceptions import GraphError
+from repro.spt.bfs import UNREACHABLE, bfs_distances
+
+
+def all_pairs_bfs_distances(graph, sources: Optional[Iterable[int]] = None
+                            ) -> Dict[int, List[int]]:
+    """Hop-distance rows ``{s: [dist(s, v) for v]}`` for each source.
+
+    ``sources`` defaults to all vertices (full APSP).
+    """
+    if sources is None:
+        sources = graph.vertices()
+    return {s: bfs_distances(graph, s) for s in sources}
+
+
+def eccentricity(graph, v: int) -> int:
+    """Max distance from ``v`` to any vertex; raises if disconnected."""
+    dist = bfs_distances(graph, v)
+    if UNREACHABLE in dist:
+        raise GraphError(f"graph disconnected from vertex {v}")
+    return max(dist)
+
+
+def diameter(graph) -> int:
+    """Exact diameter (max pairwise hop distance) of a connected graph."""
+    best = 0
+    for v in graph.vertices():
+        best = max(best, eccentricity(graph, v))
+    return best
+
+
+def distance_matrix(graph) -> List[List[int]]:
+    """Dense ``n x n`` hop-distance matrix (``-1`` for unreachable)."""
+    return [bfs_distances(graph, s) for s in graph.vertices()]
+
+
+def replacement_distance(graph, source: int, target: int, faults) -> int:
+    """``dist_{G \\ F}(s, t)`` — the ground-truth replacement distance.
+
+    The brute-force oracle every replacement-path algorithm in the
+    library is validated against.  Returns ``UNREACHABLE`` (-1) when the
+    faults disconnect the pair.
+    """
+    from repro.spt.bfs import hop_distance
+
+    return hop_distance(graph.without(faults), source, target)

@@ -1,0 +1,89 @@
+"""Breadth-first search over :class:`GraphLike` objects.
+
+These are the unweighted primitives: hop distances, deterministic BFS
+trees (lexicographically smallest parent), and layer decompositions.
+The tiebreaking layer uses them both as a correctness oracle ("is this
+reweighted shortest path also an unweighted shortest path?") and as the
+f = 0 baseline throughout the benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.exceptions import GraphError
+
+UNREACHABLE = -1
+
+
+def bfs_distances(graph, source: int) -> List[int]:
+    """Hop distances from ``source``; ``UNREACHABLE`` (-1) where cut off."""
+    if not graph.has_vertex(source):
+        raise GraphError(f"unknown source vertex {source}")
+    dist = [UNREACHABLE] * graph.n
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if dist[v] == UNREACHABLE:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    return dist
+
+
+def bfs_tree(graph, source: int) -> Dict[int, Optional[int]]:
+    """Deterministic BFS parent map (smallest-id parent wins).
+
+    Returns ``{vertex: parent}`` with ``parent[source] is None``;
+    unreachable vertices are absent from the map.
+    """
+    if not graph.has_vertex(source):
+        raise GraphError(f"unknown source vertex {source}")
+    parent: Dict[int, Optional[int]] = {source: None}
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in graph.sorted_neighbors(u):
+            if v not in dist:
+                dist[v] = dist[u] + 1
+                parent[v] = u
+                queue.append(v)
+    return parent
+
+
+def bfs_layers(graph, source: int) -> List[List[int]]:
+    """Vertices grouped by hop distance: ``layers[d]`` = distance-d set."""
+    dist = bfs_distances(graph, source)
+    depth = max((d for d in dist if d != UNREACHABLE), default=0)
+    layers: List[List[int]] = [[] for _ in range(depth + 1)]
+    for v, d in enumerate(dist):
+        if d != UNREACHABLE:
+            layers[d].append(v)
+    return layers
+
+
+def hop_distance(graph, source: int, target: int) -> int:
+    """Hop distance between two vertices (``UNREACHABLE`` if cut off).
+
+    Early-exits once ``target`` is settled, so cheaper than a full
+    :func:`bfs_distances` for nearby pairs.
+    """
+    if not graph.has_vertex(target):
+        raise GraphError(f"unknown target vertex {target}")
+    if source == target:
+        return 0
+    dist = [UNREACHABLE] * graph.n
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if dist[v] == UNREACHABLE:
+                dist[v] = dist[u] + 1
+                if v == target:
+                    return dist[v]
+                queue.append(v)
+    return UNREACHABLE

@@ -1,0 +1,122 @@
+"""Dijkstra over exact integer arc weights — the engine behind ``G*``.
+
+The paper's reweighted graph ``G*`` assigns each directed arc the weight
+``1 + r(u, v)``.  We represent that weight as a (possibly huge) Python
+integer (see :mod:`repro.core.weights` for the scaling convention), so
+all comparisons are exact and the "unique shortest path" property of an
+antisymmetric tiebreaking weight function is a decidable predicate —
+:func:`count_min_weight_paths` certifies it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.exceptions import GraphError
+
+WeightFn = Callable[[int, int], int]
+
+
+def dijkstra(graph, source: int, weight: WeightFn,
+             targets: Optional[Iterable[int]] = None):
+    """Single-source shortest paths under integer arc weights.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`GraphLike` (``Graph`` or ``FaultView``).
+    source:
+        Start vertex.
+    weight:
+        Arc weight function ``weight(u, v) -> int``; must be positive.
+        Asymmetry (``weight(u, v) != weight(v, u)``) is allowed and is
+        exactly what antisymmetric tiebreaking exploits.
+    targets:
+        Optional early-exit set: stop once all are settled.
+
+    Returns
+    -------
+    (dist, parent):
+        ``dist[v]`` is the exact integer distance for every reached
+        vertex; ``parent[v]`` the predecessor on the found shortest
+        path (``parent[source] is None``).  Unreached vertices appear
+        in neither map.
+    """
+    if not graph.has_vertex(source):
+        raise GraphError(f"unknown source vertex {source}")
+    remaining = set(targets) if targets is not None else None
+    dist: Dict[int, int] = {}
+    parent: Dict[int, Optional[int]] = {}
+    # heap entries: (distance, vertex). With a valid tiebreaking weight
+    # function, no two *paths* to a vertex tie, so the vertex component
+    # only disambiguates entries for different vertices.
+    heap = [(0, source)]
+    tentative: Dict[int, int] = {source: 0}
+    tentative_parent: Dict[int, Optional[int]] = {source: None}
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in dist:
+            continue
+        dist[u] = d
+        parent[u] = tentative_parent[u]
+        if remaining is not None:
+            remaining.discard(u)
+            if not remaining:
+                break
+        for v in graph.neighbors(u):
+            if v in dist:
+                continue
+            w = weight(u, v)
+            if w <= 0:
+                raise GraphError(
+                    f"non-positive arc weight {w} on ({u}, {v})"
+                )
+            candidate = d + w
+            if v not in tentative or candidate < tentative[v]:
+                tentative[v] = candidate
+                tentative_parent[v] = u
+                heapq.heappush(heap, (candidate, v))
+    return dist, parent
+
+
+def count_min_weight_paths(graph, source: int, weight: WeightFn) -> Dict[int, int]:
+    """Exact count of minimum-weight ``source -> v`` paths, per vertex.
+
+    Runs Dijkstra, then dynamic programming over the shortest-path DAG:
+    ``count[v] = sum(count[u] for arcs (u, v) with
+    dist[u] + weight(u, v) == dist[v])``.  A weight function is a valid
+    tiebreaker iff every reachable count is exactly 1 (Definition 18's
+    uniqueness requirement) — this is the certifying check used by
+    :meth:`repro.core.weights.AntisymmetricWeights.verify_tiebreaking`.
+    """
+    dist, _ = dijkstra(graph, source, weight)
+    order = sorted(dist, key=lambda v: dist[v])
+    count: Dict[int, int] = {source: 1}
+    for v in order:
+        if v == source:
+            continue
+        total = 0
+        for u in graph.neighbors(v):
+            if u in dist and dist[u] + weight(u, v) == dist[v]:
+                total += count.get(u, 0)
+        count[v] = total
+    return count
+
+
+def extract_path(parent: Dict[int, Optional[int]], target: int):
+    """Reconstruct the path to ``target`` from a Dijkstra parent map.
+
+    Returns a :class:`repro.spt.paths.Path` running source -> target, or
+    ``None`` when ``target`` was not reached.
+    """
+    from repro.spt.paths import Path
+
+    if target not in parent:
+        return None
+    chain = [target]
+    v = target
+    while parent[v] is not None:
+        v = parent[v]
+        chain.append(v)
+    return Path(reversed(chain))

@@ -1,0 +1,217 @@
+"""Immutable paths and the concatenation algebra of the restoration lemma.
+
+A :class:`Path` is a non-empty sequence of vertices in which consecutive
+vertices are assumed adjacent in some ambient graph (validity against a
+concrete graph is checked by :meth:`Path.is_valid_in`).  Paths are
+*oriented*: ``Path([0, 1, 2])`` runs 0 -> 2.  The paper's central move —
+"concatenate the selected path pi(s, x) with the reverse of the selected
+path pi(t, x)" (Theorem 2) — is :func:`join_at_midpoint`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from repro.exceptions import GraphError
+from repro.graphs.base import Edge, canonical_edge
+
+
+class Path:
+    """An oriented walk through vertices, usually simple and shortest.
+
+    Parameters
+    ----------
+    vertices:
+        Non-empty sequence of vertex ids.  Consecutive duplicates are
+        rejected (they would encode a self-loop).
+
+    Examples
+    --------
+    >>> p = Path([0, 1, 2])
+    >>> p.source, p.target, p.hops
+    (0, 2, 2)
+    >>> p.reverse().vertices
+    (2, 1, 0)
+    >>> p.uses_edge((1, 0))
+    True
+    """
+
+    __slots__ = ("_vertices",)
+
+    def __init__(self, vertices: Iterable[int]):
+        verts = tuple(vertices)
+        if not verts:
+            raise GraphError("a path needs at least one vertex")
+        for u, v in zip(verts, verts[1:]):
+            if u == v:
+                raise GraphError(f"consecutive duplicate vertex {u} in path")
+        self._vertices = verts
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def trivial(cls, vertex: int) -> "Path":
+        """The zero-hop path sitting at ``vertex``."""
+        return cls((vertex,))
+
+    @property
+    def vertices(self) -> Tuple[int, ...]:
+        return self._vertices
+
+    @property
+    def source(self) -> int:
+        return self._vertices[0]
+
+    @property
+    def target(self) -> int:
+        return self._vertices[-1]
+
+    @property
+    def hops(self) -> int:
+        """Number of edges (the unweighted length)."""
+        return len(self._vertices) - 1
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._vertices)
+
+    def __getitem__(self, index):
+        return self._vertices[index]
+
+    def __contains__(self, vertex: int) -> bool:
+        return vertex in self._vertices
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Path):
+            return NotImplemented
+        return self._vertices == other._vertices
+
+    def __hash__(self) -> int:
+        return hash(self._vertices)
+
+    def __repr__(self) -> str:
+        inner = "->".join(str(v) for v in self._vertices)
+        return f"Path({inner})"
+
+    # ------------------------------------------------------------------
+    # edge views
+    # ------------------------------------------------------------------
+    def arcs(self) -> Iterator[Edge]:
+        """Directed edges in path order."""
+        return zip(self._vertices, self._vertices[1:])
+
+    def edges(self) -> Iterator[Edge]:
+        """Canonical undirected edges in path order."""
+        for u, v in self.arcs():
+            yield canonical_edge(u, v)
+
+    def edge_set(self) -> frozenset:
+        """Canonical undirected edges as a frozenset."""
+        return frozenset(self.edges())
+
+    def uses_edge(self, edge: Edge) -> bool:
+        """True if the path traverses the undirected edge (either way)."""
+        return canonical_edge(*edge) in self.edge_set()
+
+    def uses_arc(self, arc: Edge) -> bool:
+        """True if the path traverses ``arc`` with exactly that orientation."""
+        return arc in set(self.arcs())
+
+    def avoids(self, faults: Iterable[Edge]) -> bool:
+        """True if the path uses none of the (undirected) fault edges."""
+        fault_set = {canonical_edge(u, v) for u, v in faults}
+        return not (self.edge_set() & fault_set)
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def reverse(self) -> "Path":
+        return Path(reversed(self._vertices))
+
+    def concat(self, other: "Path") -> "Path":
+        """Concatenate: requires ``self.target == other.source``."""
+        if self.target != other.source:
+            raise GraphError(
+                f"cannot concatenate: {self!r} ends at {self.target}, "
+                f"{other!r} starts at {other.source}"
+            )
+        return Path(self._vertices + other._vertices[1:])
+
+    def prefix_to(self, vertex: int) -> "Path":
+        """The prefix of this path ending at the first occurrence of ``vertex``."""
+        index = self._index_of(vertex)
+        return Path(self._vertices[: index + 1])
+
+    def suffix_from(self, vertex: int) -> "Path":
+        """The suffix starting at the first occurrence of ``vertex``."""
+        index = self._index_of(vertex)
+        return Path(self._vertices[index:])
+
+    def subpath(self, u: int, v: int) -> "Path":
+        """The contiguous subpath from ``u`` to ``v`` (``u`` must precede ``v``)."""
+        iu = self._index_of(u)
+        iv = self._index_of(v)
+        if iu > iv:
+            raise GraphError(f"{u} does not precede {v} on {self!r}")
+        return Path(self._vertices[iu: iv + 1])
+
+    def precedes(self, u: int, v: int) -> bool:
+        """True when both vertices lie on the path with ``u`` before ``v``."""
+        try:
+            return self._index_of(u) <= self._index_of(v)
+        except GraphError:
+            return False
+
+    # ------------------------------------------------------------------
+    # validity
+    # ------------------------------------------------------------------
+    def is_simple(self) -> bool:
+        return len(set(self._vertices)) == len(self._vertices)
+
+    def is_valid_in(self, graph) -> bool:
+        """True if every consecutive pair is an edge of ``graph``."""
+        return all(graph.has_edge(u, v) for u, v in self.arcs())
+
+    def weight(self, weight_fn) -> int:
+        """Total weight under an arc-weight function ``weight_fn(u, v)``."""
+        return sum(weight_fn(u, v) for u, v in self.arcs())
+
+    # ------------------------------------------------------------------
+    def _index_of(self, vertex: int) -> int:
+        try:
+            return self._vertices.index(vertex)
+        except ValueError:
+            raise GraphError(f"vertex {vertex} not on {self!r}") from None
+
+
+def join_at_midpoint(to_x_from_s: Path, to_x_from_t: Path) -> Path:
+    """Form the s ~> t walk ``pi(s,x) . reverse(pi(t,x))`` of Theorem 2.
+
+    Both arguments must end at the same midpoint ``x``.  The result runs
+    from ``to_x_from_s.source`` to ``to_x_from_t.source`` and may visit
+    ``x``'s neighbourhood twice — the restoration lemma guarantees the
+    *existence* of a midpoint where it is a genuine shortest path, not
+    that every midpoint yields one.
+    """
+    if to_x_from_s.target != to_x_from_t.target:
+        raise GraphError(
+            "midpoint mismatch: paths end at "
+            f"{to_x_from_s.target} and {to_x_from_t.target}"
+        )
+    return to_x_from_s.concat(to_x_from_t.reverse())
+
+
+def is_replacement_path(graph, path: Path, faults: Iterable[Edge],
+                        required_hops: int) -> bool:
+    """Check ``path`` is a valid replacement path of the given length.
+
+    True iff the path survives in ``graph \\ faults`` and has exactly
+    ``required_hops`` edges (the replacement distance).
+    """
+    fault_set = {canonical_edge(u, v) for u, v in faults}
+    if path.hops != required_hops:
+        return False
+    if not path.avoids(fault_set):
+        return False
+    return path.is_valid_in(graph)

@@ -1,0 +1,130 @@
+"""Shortest-path trees with path extraction and routing-table export.
+
+A :class:`ShortestPathTree` packages the output of one Dijkstra/BFS run:
+root, parent pointers, exact integer distances and hop counts.  It is
+the unit the paper's applications consume — Algorithm 1 (subset-rp)
+takes unions of two such trees, the distributed constructions overlay
+them, and routing tables are their next-hop encoding (Section 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.exceptions import DisconnectedError, GraphError
+from repro.graphs.base import Edge, canonical_edge
+from repro.spt.dijkstra import WeightFn, dijkstra
+from repro.spt.paths import Path
+
+
+class ShortestPathTree:
+    """An out-tree of selected shortest paths from a single root.
+
+    Paths run *away from* the root: ``path_to(v)`` is the selected
+    ``root ~> v`` path.  With a consistent tiebreaking scheme, the
+    overlay of all ``{root} x V`` selected paths is exactly such a tree
+    (Section 2, first bullet under "Consistency").
+    """
+
+    __slots__ = ("_root", "_parent", "_dist", "_hops", "_scale")
+
+    def __init__(self, root: int, parent: Dict[int, Optional[int]],
+                 dist: Dict[int, int], scale: int = 1):
+        if root not in parent or parent[root] is not None:
+            raise GraphError(f"parent map does not root at {root}")
+        self._root = root
+        self._parent = dict(parent)
+        self._dist = dict(dist)
+        self._scale = scale
+        # Hop counts: recoverable from the scaled weights because a
+        # simple path's perturbation is < scale/2 in magnitude.
+        self._hops = {
+            v: (d + scale // 2) // scale for v, d in self._dist.items()
+        }
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def compute(cls, graph, root: int, weight: WeightFn,
+                scale: int = 1) -> "ShortestPathTree":
+        """Run Dijkstra and wrap the result."""
+        dist, parent = dijkstra(graph, root, weight)
+        return cls(root, parent, dist, scale)
+
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> int:
+        return self._root
+
+    @property
+    def scale(self) -> int:
+        """Weight units per hop (see :mod:`repro.core.weights`)."""
+        return self._scale
+
+    def reaches(self, v: int) -> bool:
+        return v in self._parent
+
+    def reached_vertices(self):
+        return self._parent.keys()
+
+    def parent(self, v: int) -> Optional[int]:
+        if v not in self._parent:
+            raise DisconnectedError(self._root, v)
+        return self._parent[v]
+
+    def weighted_distance(self, v: int) -> int:
+        """Exact integer distance in the reweighted graph ``G*``."""
+        if v not in self._dist:
+            raise DisconnectedError(self._root, v)
+        return self._dist[v]
+
+    def hop_distance(self, v: int) -> int:
+        """Unweighted (hop) distance, recovered from the scaled weight."""
+        if v not in self._hops:
+            raise DisconnectedError(self._root, v)
+        return self._hops[v]
+
+    def path_to(self, v: int) -> Path:
+        """The selected ``root ~> v`` path."""
+        if v not in self._parent:
+            raise DisconnectedError(self._root, v)
+        chain = [v]
+        node = v
+        while self._parent[node] is not None:
+            node = self._parent[node]
+            chain.append(node)
+        return Path(reversed(chain))
+
+    def edges(self) -> Iterator[Edge]:
+        """Canonical undirected tree edges."""
+        for v, p in self._parent.items():
+            if p is not None:
+                yield canonical_edge(v, p)
+
+    def edge_set(self) -> frozenset:
+        return frozenset(self.edges())
+
+    def next_hop(self, v: int) -> Optional[int]:
+        """First vertex after the root on ``path_to(v)`` (None at root)."""
+        if v == self._root:
+            return None
+        if v not in self._parent:
+            raise DisconnectedError(self._root, v)
+        node = v
+        while self._parent[node] != self._root:
+            node = self._parent[node]
+            if node is None:  # pragma: no cover - defensive
+                raise GraphError("broken parent chain")
+        return node
+
+    def depth(self) -> int:
+        """Maximum hop distance of any reached vertex."""
+        return max(self._hops.values(), default=0)
+
+    def __contains__(self, v: int) -> bool:
+        return v in self._parent
+
+    def __repr__(self) -> str:
+        return (
+            f"ShortestPathTree(root={self._root}, "
+            f"reached={len(self._parent)})"
+        )

@@ -1,0 +1,35 @@
+"""Weighted-graph extensions (Section 1.2, Theorem 11).
+
+The main theorem does not extend to weighted graphs — the paper proves
+undirectedness and unweightedness are both used, and notes the
+restoration lemma itself fails there.  What *does* survive is the
+weighted restoration lemma (Theorem 11): a replacement path always
+decomposes as shortest-path + middle edge + shortest-path, and that
+decomposition is tiebreaking-insensitive.
+
+This package implements that surviving theory:
+
+* :class:`~repro.weighted.graph.WeightedGraph` — undirected graphs
+  with positive integer edge weights.
+* :mod:`~repro.weighted.restoration` — Theorem 11 as a decision
+  procedure on weighted instances, and edge-candidate restoration.
+* :mod:`~repro.weighted.base_set` — Afek et al.'s base-set method:
+  the O(mn)-path set from which any replacement path is a two-path
+  concatenation, sized against Theorem 2's 2·n(n-1) selected paths —
+  the paper's "intermediate open question" about base-set size,
+  measured (``bench_ablation_base_sets``).
+"""
+
+from repro.weighted.graph import WeightedGraph
+from repro.weighted.restoration import (
+    restore_via_middle_edge,
+    weighted_restoration_lemma_holds,
+)
+from repro.weighted.base_set import BaseSet
+
+__all__ = [
+    "WeightedGraph",
+    "weighted_restoration_lemma_holds",
+    "restore_via_middle_edge",
+    "BaseSet",
+]

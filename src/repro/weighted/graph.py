@@ -1,0 +1,198 @@
+"""Undirected graphs with positive integer edge weights.
+
+The weighted setting of Theorem 11.  Weights are integers (exactness,
+as everywhere in this library); callers with rational weights should
+pre-scale.  The class deliberately mirrors the read interface of
+:class:`repro.graphs.base.Graph` plus a ``weight`` accessor, so the
+Dijkstra/tree machinery of :mod:`repro.spt` works on it unchanged via
+:meth:`arc_weight`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.exceptions import GraphError
+from repro.graphs.base import Edge, Graph, canonical_edge
+
+
+class WeightedGraph:
+    """An undirected graph with positive integer edge weights.
+
+    Parameters
+    ----------
+    num_vertices:
+        Vertex count; vertices are ``0 .. n-1``.
+    weighted_edges:
+        Iterable of ``(u, v, w)`` triples with ``w >= 1``.
+    """
+
+    __slots__ = ("_graph", "_weights")
+
+    def __init__(self, num_vertices: int = 0,
+                 weighted_edges: Iterable[Tuple[int, int, int]] = ()):
+        self._graph = Graph(num_vertices)
+        self._weights: Dict[Edge, int] = {}
+        for u, v, w in weighted_edges:
+            self.add_edge(u, v, w)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_unit_graph(cls, graph: Graph) -> "WeightedGraph":
+        """Lift an unweighted graph to weight-1 edges."""
+        wg = cls(graph.n)
+        for u, v in graph.edges():
+            wg.add_edge(u, v, 1)
+        return wg
+
+    @classmethod
+    def random(cls, n: int, p: float, max_weight: int = 20,
+               seed: int = 0) -> "WeightedGraph":
+        """A connected random weighted graph with uniform weights."""
+        from repro.graphs.generators import connected_erdos_renyi
+
+        rng = random.Random(seed + 1)
+        base = connected_erdos_renyi(n, p, seed=seed)
+        wg = cls(n)
+        for u, v in base.edges():
+            wg.add_edge(u, v, rng.randint(1, max_weight))
+        return wg
+
+    # ------------------------------------------------------------------
+    def add_vertex(self) -> int:
+        return self._graph.add_vertex()
+
+    def add_edge(self, u: int, v: int, weight: int) -> Edge:
+        if weight < 1:
+            raise GraphError(f"edge weight must be >= 1, got {weight}")
+        edge = self._graph.add_edge(u, v)
+        self._weights[edge] = weight
+        return edge
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._graph.n
+
+    @property
+    def m(self) -> int:
+        return self._graph.m
+
+    def vertices(self) -> range:
+        return self._graph.vertices()
+
+    def has_vertex(self, v: int) -> bool:
+        return self._graph.has_vertex(v)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return self._graph.has_edge(u, v)
+
+    def neighbors(self, v: int) -> Iterator[int]:
+        return self._graph.neighbors(v)
+
+    def sorted_neighbors(self, v: int) -> List[int]:
+        return self._graph.sorted_neighbors(v)
+
+    def edges(self) -> Iterator[Edge]:
+        return self._graph.edges()
+
+    def arcs(self) -> Iterator[Edge]:
+        return self._graph.arcs()
+
+    def weight(self, u: int, v: int) -> int:
+        edge = canonical_edge(u, v)
+        if edge not in self._weights:
+            raise GraphError(f"({u}, {v}) is not an edge")
+        return self._weights[edge]
+
+    def arc_weight(self, u: int, v: int) -> int:
+        """Symmetric arc-weight callable for :func:`repro.spt.dijkstra`."""
+        return self.weight(u, v)
+
+    def total_weight(self) -> int:
+        return sum(self._weights.values())
+
+    def path_weight(self, path) -> int:
+        """Total weight of a :class:`repro.spt.paths.Path`."""
+        return sum(self.weight(u, v) for u, v in path.arcs())
+
+    # ------------------------------------------------------------------
+    def without(self, faults: Iterable[Edge]) -> "WeightedView":
+        return WeightedView(self, faults)
+
+    def unit_graph(self) -> Graph:
+        """The underlying unweighted graph (shared, do not mutate)."""
+        return self._graph
+
+    def perturbed_weight(self, seed: int = 0):
+        """A unique-shortest-path refinement of the weights.
+
+        Returns ``(arc_weight_fn, scale)``: weights are scaled by a
+        large integer and an antisymmetric perturbation is added, so
+        the perturbed unique shortest paths are true weighted shortest
+        paths (the "perturb to make shortest paths unique" step of
+        Theorem 28's proof, done exactly).
+        """
+        n = max(self.n, 2)
+        rng = random.Random(seed)
+        big = n ** 6
+        scale = 2 * n * (big + 1)
+        perturbation = {
+            edge: rng.randint(-big, big) for edge in self.edges()
+        }
+
+        def arc_weight(u: int, v: int) -> int:
+            edge = canonical_edge(u, v)
+            r = perturbation[edge]
+            if (u, v) != edge:
+                r = -r
+            return self._weights[edge] * scale + r
+
+        return arc_weight, scale
+
+    def __repr__(self) -> str:
+        return f"WeightedGraph(n={self.n}, m={self.m})"
+
+
+class WeightedView:
+    """``G \\ F`` over a weighted graph (read-only, weight-preserving)."""
+
+    __slots__ = ("_base", "_view")
+
+    def __init__(self, base: WeightedGraph, faults: Iterable[Edge]):
+        self._base = base
+        self._view = base.unit_graph().without(faults)
+
+    @property
+    def n(self) -> int:
+        return self._view.n
+
+    def vertices(self) -> range:
+        return self._view.vertices()
+
+    def has_vertex(self, v: int) -> bool:
+        return self._view.has_vertex(v)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return self._view.has_edge(u, v)
+
+    def neighbors(self, v: int) -> Iterator[int]:
+        return self._view.neighbors(v)
+
+    def sorted_neighbors(self, v: int) -> List[int]:
+        return self._view.sorted_neighbors(v)
+
+    def edges(self) -> Iterator[Edge]:
+        return self._view.edges()
+
+    def arcs(self) -> Iterator[Edge]:
+        return self._view.arcs()
+
+    def weight(self, u: int, v: int) -> int:
+        if not self.has_edge(u, v):
+            raise GraphError(f"({u}, {v}) not present in the view")
+        return self._base.weight(u, v)
+
+    def arc_weight(self, u: int, v: int) -> int:
+        return self.weight(u, v)

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test-suite.
+
+Schemes are module-scoped where safe (they are immutable after
+construction and internally cache trees), keeping the brute-force
+verification sweeps fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import generators
+from repro.core.scheme import BFSTiebreaking, RestorableTiebreaking
+
+
+@pytest.fixture(scope="session")
+def c4():
+    """The Appendix-A counterexample graph."""
+    return generators.cycle(4)
+
+
+@pytest.fixture(scope="session")
+def grid4():
+    """A 4x4 grid — many tied shortest paths."""
+    return generators.grid(4, 4)
+
+
+@pytest.fixture(scope="session")
+def torus4():
+    return generators.torus(4, 4)
+
+
+@pytest.fixture(scope="session")
+def er_small():
+    """A connected random graph small enough for exhaustive checks."""
+    return generators.connected_erdos_renyi(18, 0.15, seed=11)
+
+
+@pytest.fixture(scope="session")
+def er_medium():
+    """A connected random graph for scaling-ish checks."""
+    return generators.connected_erdos_renyi(50, 0.08, seed=23)
+
+
+@pytest.fixture(scope="session")
+def petersen():
+    return generators.petersen()
+
+
+@pytest.fixture(scope="session")
+def grid_scheme(grid4):
+    return RestorableTiebreaking.build(grid4, f=1, seed=7)
+
+
+@pytest.fixture(scope="session")
+def er_scheme(er_small):
+    return RestorableTiebreaking.build(er_small, f=2, seed=3)
+
+
+@pytest.fixture(scope="session")
+def grid_bfs_scheme(grid4):
+    return BFSTiebreaking(grid4)
+
+
+def pytest_collection_modifyitems(config, items):
+    """Keep slow sweeps last so quick failures surface first."""
+    items.sort(key=lambda item: "slow" in item.keywords)

@@ -1,0 +1,87 @@
+"""Tests for the bounds/experiments analysis layer."""
+
+import math
+
+import pytest
+
+from repro.analysis import bounds
+from repro.analysis.experiments import (
+    figure1_experiment,
+    format_table,
+    timed,
+)
+
+
+class TestBoundFormulas:
+    def test_thm26_f0_is_sn(self):
+        assert bounds.thm26_sv_preserver_bound(100, 5, 0) == 100 * 5
+
+    def test_thm26_f1(self):
+        assert bounds.thm26_sv_preserver_bound(100, 4, 1) == pytest.approx(
+            100 ** 1.5 * 2
+        )
+
+    def test_thm31_shifts_f(self):
+        assert bounds.thm31_ss_preserver_bound(100, 4, 1) == \
+            bounds.thm26_sv_preserver_bound(100, 4, 0)
+
+    def test_thm33_values(self):
+        assert bounds.thm33_spanner_bound(100, 0) == pytest.approx(1000.0)
+        assert bounds.thm33_spanner_bound(100, 1) == pytest.approx(
+            100 ** (5 / 3)
+        )
+
+    def test_thm30_label_bound(self):
+        assert bounds.thm30_label_bits_bound(16, 0) == pytest.approx(16 * 4)
+
+    def test_thm3_runtime(self):
+        assert bounds.thm3_subset_rp_time(100, 400, 5) == 5 * 400 + 25 * 100
+
+    def test_thm27_matches_lowerbound_module(self):
+        from repro.graphs.lowerbound import theoretical_lower_bound
+
+        assert bounds.thm27_lower_bound(200, 1, 3) == pytest.approx(
+            theoretical_lower_bound(200, 1, 3)
+        )
+
+    def test_cor22_bits(self):
+        assert bounds.cor22_bits_per_edge(16, 1, c=2) == pytest.approx(7 * 4)
+
+    def test_lemma36_rounds(self):
+        assert bounds.lemma36_round_bound(5, 4, 16) == pytest.approx(9 * 4)
+
+
+class TestFitExponent:
+    def test_recovers_power_law(self):
+        xs = [10, 20, 40, 80]
+        ys = [x ** 1.5 * 3 for x in xs]
+        slope, intercept = bounds.fit_exponent(xs, ys)
+        assert slope == pytest.approx(1.5, abs=1e-9)
+        assert math.exp(intercept) == pytest.approx(3, rel=1e-9)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            bounds.fit_exponent([1], [1])
+        with pytest.raises(ValueError):
+            bounds.fit_exponent([1, -2], [1, 2])
+
+
+class TestExperimentHelpers:
+    def test_format_table(self):
+        rows = [{"a": 1, "b": 0.5}, {"a": 20, "b": 0.25}]
+        text = format_table(rows, title="T")
+        assert "T" in text and "a" in text and "0.500" in text
+        assert format_table([]) == "(no rows)"
+
+    def test_figure1_rows_shape(self):
+        rows = figure1_experiment(["grid"], 4, seed=1, limit=100)
+        assert len(rows) == 2
+        schemes = {r["scheme"] for r in rows}
+        assert schemes == {"bfs-lex", "restorable"}
+        restorable = next(r for r in rows if r["scheme"] == "restorable")
+        assert restorable["failures"] == 0
+
+    def test_timed(self):
+        value, seconds = timed(sum, [1, 2, 3])
+        assert value == 6
+        assert seconds >= 0

@@ -1,0 +1,130 @@
+"""Tests for restoration-by-concatenation and the restoration lemmas."""
+
+import pytest
+
+from repro.exceptions import DisconnectedError, RestorationError
+from repro.graphs import generators
+from repro.core.restoration import (
+    midpoint_scan,
+    restore_by_concatenation,
+    tree_fault_free_vertices,
+    verify_restoration_lemma,
+    verify_weighted_restoration_lemma,
+)
+from repro.core.scheme import RestorableTiebreaking
+from repro.spt.apsp import replacement_distance
+from repro.spt.paths import is_replacement_path
+
+
+class TestTreeFaultFreeVertices:
+    def test_marks_subtree_below_fault(self, grid_scheme):
+        tree = grid_scheme.tree(0)
+        fault = next(iter(tree.edges()))
+        good = tree_fault_free_vertices(tree, [fault])
+        assert 0 in good
+        for v in good:
+            assert tree.path_to(v).avoids([fault])
+        for v in tree.reached_vertices():
+            if v not in good:
+                assert not tree.path_to(v).avoids([fault])
+
+    def test_no_faults_everything_good(self, grid_scheme):
+        tree = grid_scheme.tree(0)
+        good = tree_fault_free_vertices(tree, [])
+        assert good == set(tree.reached_vertices())
+
+    def test_off_tree_fault_harmless(self, grid4, grid_scheme):
+        tree = grid_scheme.tree(0)
+        off_tree = next(e for e in grid4.edges() if e not in tree.edge_set())
+        assert tree_fault_free_vertices(tree, [off_tree]) == set(
+            tree.reached_vertices()
+        )
+
+
+class TestRestoreByConcatenation:
+    def test_single_fault_every_pair_every_edge(self, grid4, grid_scheme):
+        for s in (0, 5, 10):
+            for t in (15, 3):
+                path = grid_scheme.path(s, t)
+                for e in path.edges():
+                    target = replacement_distance(grid4, s, t, [e])
+                    result = restore_by_concatenation(grid_scheme, s, t, [e])
+                    assert result.path.hops == target
+                    assert is_replacement_path(grid4, result.path, [e], target)
+                    assert result.subset == ()
+
+    def test_two_faults_uses_proper_subsets(self, er_small, er_scheme):
+        fault_sets = generators.fault_sample(er_small, 12, seed=4, size=2)
+        for faults in fault_sets:
+            target = replacement_distance(er_small, 0, 9, list(faults))
+            if target == -1:
+                continue
+            result = restore_by_concatenation(er_scheme, 0, 9, faults)
+            assert result.path.hops == target
+            assert len(result.subset) <= 1  # a *proper* subset of |F|=2
+
+    def test_empty_faults_rejected(self, grid_scheme):
+        with pytest.raises(RestorationError):
+            restore_by_concatenation(grid_scheme, 0, 15, [])
+
+    def test_disconnecting_fault(self):
+        g = generators.path(4)
+        scheme = RestorableTiebreaking.build(g, seed=1)
+        with pytest.raises(DisconnectedError):
+            restore_by_concatenation(scheme, 0, 3, [(1, 2)])
+
+    def test_result_candidate_count(self, grid_scheme):
+        result = restore_by_concatenation(grid_scheme, 0, 15, [(0, 1)])
+        assert 1 <= result.candidates <= 16
+
+
+class TestMidpointScan:
+    def test_returns_none_when_no_midpoint(self):
+        g = generators.path(3)
+        scheme = RestorableTiebreaking.build(g, seed=0)
+        # fault on the only path: every pi(0, x) or pi(2, x) crosses it
+        assert midpoint_scan(scheme, 0, 2, [(1, 2)]) is None
+
+    def test_best_midpoint_optimal_for_restorable(self, grid4, grid_scheme):
+        path = grid_scheme.path(0, 15)
+        e = next(iter(path.edges()))
+        result = midpoint_scan(grid_scheme, 0, 15, [e])
+        assert result.path.hops == replacement_distance(grid4, 0, 15, [e])
+
+
+class TestRestorationLemma:
+    """Theorem 1 holds for every instance in undirected unweighted graphs."""
+
+    @pytest.mark.parametrize("family,size", [
+        ("grid", 4), ("torus", 4), ("cycle", 7), ("er", 15),
+    ])
+    def test_theorem1_sweep(self, family, size):
+        g = generators.by_name(family, size, seed=2)
+        for e in g.edges():
+            for s in range(0, g.n, 3):
+                for t in range(1, g.n, 4):
+                    if s != t:
+                        assert verify_restoration_lemma(g, s, t, e)
+
+    def test_vacuous_when_disconnected(self):
+        g = generators.path(3)
+        assert verify_restoration_lemma(g, 0, 2, (1, 2))
+
+
+class TestWeightedRestorationLemma:
+    """Theorem 11 (specialised to unit weights) holds instance-wise."""
+
+    @pytest.mark.parametrize("family,size", [
+        ("grid", 4), ("cycle", 6), ("er", 14),
+    ])
+    def test_theorem11_sweep(self, family, size):
+        g = generators.by_name(family, size, seed=3)
+        for e in g.edges():
+            for s in range(0, g.n, 4):
+                for t in range(2, g.n, 5):
+                    if s != t:
+                        assert verify_weighted_restoration_lemma(g, s, t, e)
+
+    def test_vacuous_when_disconnected(self):
+        g = generators.path(3)
+        assert verify_weighted_restoration_lemma(g, 0, 2, (1, 2))

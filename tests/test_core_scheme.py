@@ -1,0 +1,148 @@
+"""Unit tests for tiebreaking scheme classes."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import generators
+from repro.core.scheme import (
+    BFSTiebreaking,
+    ExplicitScheme,
+    RestorableTiebreaking,
+    WeightedTiebreaking,
+)
+from repro.spt.bfs import bfs_distances
+from repro.spt.paths import Path
+
+
+class TestRestorableTiebreaking:
+    @pytest.mark.parametrize("method", ["random", "deterministic", "uniform"])
+    def test_build_methods(self, method):
+        g = generators.grid(3, 3)
+        scheme = RestorableTiebreaking.build(g, f=1, method=method, seed=2)
+        path = scheme.path(0, 8)
+        assert path.hops == 4
+
+    def test_unknown_method(self):
+        with pytest.raises(GraphError):
+            RestorableTiebreaking.build(generators.path(3), method="magic")
+
+    def test_paths_are_shortest(self, grid4, grid_scheme):
+        for s in grid4.vertices():
+            dist = bfs_distances(grid4, s)
+            for t in grid4.vertices():
+                path = grid_scheme.path(s, t)
+                assert path.hops == dist[t]
+
+    def test_paths_under_faults_are_shortest(self, grid4, grid_scheme):
+        fault = (5, 6)
+        view = grid4.without([fault])
+        for s in (0, 15):
+            dist = bfs_distances(view, s)
+            for t in grid4.vertices():
+                path = grid_scheme.path(s, t, [fault])
+                assert path.hops == dist[t]
+                assert path.avoids([fault])
+
+    def test_none_when_disconnected(self):
+        g = generators.path(3)
+        scheme = RestorableTiebreaking.build(g, seed=1)
+        assert scheme.path(0, 2, [(1, 2)]) is None
+        assert scheme.hop_distance(0, 2, [(1, 2)]) is None
+
+    def test_trivial_path_to_self(self, grid_scheme):
+        assert grid_scheme.path(3, 3) == Path.trivial(3)
+
+    def test_tree_caching(self, grid4):
+        scheme = RestorableTiebreaking.build(grid4, seed=5)
+        assert scheme.cache_size() == 0
+        scheme.path(0, 8)
+        scheme.path(0, 12)
+        assert scheme.cache_size() == 1  # same source, same fault set
+        scheme.path(0, 8, [(0, 1)])
+        assert scheme.cache_size() == 2
+        scheme.clear_cache()
+        assert scheme.cache_size() == 0
+
+    def test_fault_key_orientation_insensitive(self, grid_scheme):
+        a = grid_scheme.path(0, 15, [(1, 0)])
+        b = grid_scheme.path(0, 15, [(0, 1)])
+        assert a == b
+
+    def test_weighted_distance_consistent(self, grid_scheme):
+        wd = grid_scheme.weighted_distance(0, 15)
+        assert grid_scheme.weights.hops_of_weight(wd) == 6
+
+    def test_exposes_weights(self, grid_scheme):
+        assert grid_scheme.weights.verify_antisymmetry()
+
+
+class TestBFSTiebreaking:
+    def test_paths_are_shortest(self, grid4):
+        scheme = BFSTiebreaking(grid4)
+        dist = bfs_distances(grid4, 0)
+        for t in grid4.vertices():
+            assert scheme.path(0, t).hops == dist[t]
+
+    def test_deterministic(self, grid4):
+        a = BFSTiebreaking(grid4).path(0, 15)
+        b = BFSTiebreaking(grid4).path(0, 15)
+        assert a == b
+
+    def test_faults_respected(self, grid4):
+        scheme = BFSTiebreaking(grid4)
+        path = scheme.path(0, 15, [(0, 1)])
+        assert path.avoids([(0, 1)])
+
+
+class TestExplicitScheme:
+    def test_table_lookup(self):
+        g = generators.cycle(4)
+        table = {(0, 2): Path([0, 1, 2]), (2, 0): Path([2, 3, 0])}
+        scheme = ExplicitScheme(g, table)
+        assert scheme.path(0, 2) == Path([0, 1, 2])
+        assert scheme.hop_distance(0, 2) == 2
+        assert scheme.path(1, 3) is None
+
+    def test_wrong_endpoints_rejected(self):
+        g = generators.cycle(4)
+        with pytest.raises(GraphError):
+            ExplicitScheme(g, {(0, 2): Path([1, 2])})
+
+    def test_invalid_path_rejected(self):
+        g = generators.cycle(4)
+        with pytest.raises(GraphError):
+            ExplicitScheme(g, {(0, 2): Path([0, 2])})
+
+    def test_symmetry_detector(self):
+        g = generators.cycle(4)
+        sym = ExplicitScheme(g, {
+            (0, 2): Path([0, 1, 2]), (2, 0): Path([2, 1, 0]),
+        })
+        asym = ExplicitScheme(g, {
+            (0, 2): Path([0, 1, 2]), (2, 0): Path([2, 3, 0]),
+        })
+        assert sym.is_symmetric_table()
+        assert not asym.is_symmetric_table()
+
+    def test_fault_table(self):
+        g = generators.cycle(4)
+        fault_key = frozenset({(0, 1)})
+        scheme = ExplicitScheme(
+            g,
+            {(0, 1): Path([0, 1])},
+            fault_table={(0, 1, fault_key): Path([0, 3, 2, 1])},
+        )
+        assert scheme.path(0, 1, [(0, 1)]) == Path([0, 3, 2, 1])
+
+
+class TestWeightedTiebreakingGeneric:
+    def test_custom_weight_scheme(self):
+        # Heavily prefer high-numbered vertices: tie on C4 broken to 0-3-2.
+        g = generators.cycle(4)
+
+        def weight(u, v):
+            return 100 - v
+
+        scheme = WeightedTiebreaking(g, weight, scale=100, name="greedy")
+        assert scheme.path(0, 2) == Path([0, 3, 2])
+        assert "greedy" in repr(scheme)

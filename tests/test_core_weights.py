@@ -1,0 +1,125 @@
+"""Unit tests for antisymmetric tiebreaking weight functions."""
+
+import pytest
+
+from repro.exceptions import GraphError, TiebreakingError
+from repro.graphs import generators
+from repro.graphs.base import Graph
+from repro.core.weights import AntisymmetricWeights
+from repro.analysis.bounds import cor22_bits_per_edge
+
+
+class TestConstructionValidation:
+    def test_missing_edge_rejected(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        with pytest.raises(TiebreakingError):
+            AntisymmetricWeights(g, {(0, 1): 1}, scale=100)
+
+    def test_non_canonical_key_rejected(self):
+        g = Graph(2, [(0, 1)])
+        with pytest.raises(TiebreakingError):
+            AntisymmetricWeights(g, {(1, 0): 1}, scale=100)
+
+    def test_oversized_perturbation_rejected(self):
+        g = Graph(2, [(0, 1)])
+        # scale/(2n) = 100/4 = 25; 25 is not strictly less
+        with pytest.raises(TiebreakingError):
+            AntisymmetricWeights(g, {(0, 1): 25}, scale=100)
+
+    def test_valid_construction(self):
+        g = Graph(2, [(0, 1)])
+        atw = AntisymmetricWeights(g, {(0, 1): 24}, scale=100)
+        assert atw.weight(0, 1) == 124
+        assert atw.weight(1, 0) == 76
+
+
+class TestAntisymmetry:
+    @pytest.mark.parametrize("method", ["random", "deterministic", "uniform"])
+    def test_r_negates_under_reversal(self, method):
+        g = generators.petersen()
+        atw = getattr(AntisymmetricWeights, method)(g)
+        for u, v in g.arcs():
+            assert atw.r(u, v) == -atw.r(v, u)
+        assert atw.verify_antisymmetry()
+
+    def test_weights_positive(self):
+        g = generators.grid(3, 3)
+        atw = AntisymmetricWeights.random(g, f=1, seed=0)
+        for u, v in g.arcs():
+            assert atw.weight(u, v) > 0
+
+    def test_r_on_non_edge_rejected(self):
+        g = generators.path(3)
+        atw = AntisymmetricWeights.random(g, f=1)
+        with pytest.raises(GraphError):
+            atw.r(0, 2)
+
+
+class TestTiebreakingProperty:
+    @pytest.mark.parametrize("method,kwargs", [
+        ("random", {"f": 1, "seed": 3}),
+        ("deterministic", {}),
+        ("uniform", {"seed": 3}),
+    ])
+    def test_unique_shortest_paths_single_faults(self, method, kwargs):
+        g = generators.grid(3, 3)  # heavily tied
+        atw = getattr(AntisymmetricWeights, method)(g, **kwargs)
+        assert atw.verify_tiebreaking()
+
+    def test_two_fault_tiebreaking(self):
+        g = generators.connected_erdos_renyi(12, 0.25, seed=4)
+        atw = AntisymmetricWeights.random(g, f=2, seed=1)
+        fault_sets = generators.fault_sample(g, 20, seed=2, size=2)
+        assert atw.verify_tiebreaking(fault_sets=fault_sets)
+
+    def test_violation_reporting_shape(self):
+        # An adversarial zero perturbation ties everywhere on a cycle.
+        g = generators.cycle(4)
+        atw = AntisymmetricWeights(
+            g, {e: 0 for e in g.edges()}, scale=100, name="null"
+        )
+        violations = atw.tiebreaking_violations(fault_sets=[()])
+        assert violations  # the antipodal pair ties
+        assert all(len(v) == 4 and v[3] == "tie" for v in violations)
+
+    def test_deterministic_is_reproducible(self):
+        g = generators.grid(3, 3)
+        a = AntisymmetricWeights.deterministic(g)
+        b = AntisymmetricWeights.deterministic(g)
+        assert all(a.r(u, v) == b.r(u, v) for u, v in g.arcs())
+
+
+class TestBitComplexity:
+    def test_random_bits_match_corollary22(self):
+        for n in (16, 64):
+            g = generators.connected_erdos_renyi(n, 4.0 / n, seed=1)
+            atw = AntisymmetricWeights.random(g, f=1, seed=0)
+            # r values live in [-W, W] with W = n^(f+4+c): <= log2(W) + 1
+            assert atw.bits_per_edge() <= cor22_bits_per_edge(n, 1) + 2
+
+    def test_deterministic_bits_linear_in_m(self):
+        g = generators.grid(4, 4)
+        atw = AntisymmetricWeights.deterministic(g)
+        # Theorem 23: O(|E|) bits; base 4 => exactly 2 bits per edge id
+        assert atw.bits_per_edge() <= 2 * g.m + 2
+
+    def test_base_below_four_rejected(self):
+        with pytest.raises(TiebreakingError):
+            AntisymmetricWeights.deterministic(generators.path(3), base=3)
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(TiebreakingError):
+            AntisymmetricWeights.random(generators.path(3), f=-1)
+
+
+class TestHopRecovery:
+    def test_hops_of_weight(self):
+        g = generators.path(5)
+        atw = AntisymmetricWeights.random(g, f=1, seed=2)
+        total = sum(atw.weight(u, v) for u, v in zip(range(4), range(1, 5)))
+        assert atw.hops_of_weight(total) == 4
+
+    def test_repr_mentions_name(self):
+        g = generators.path(3)
+        atw = AntisymmetricWeights.deterministic(g)
+        assert "deterministic" in repr(atw)

@@ -1,0 +1,172 @@
+"""Tests for the DAG extension study (Section 1.2 future work)."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.dag import (
+    DagTiebreaking,
+    DirectedGraph,
+    dag_restorability_violations,
+    random_layered_dag,
+    verify_dag_restoration_lemma,
+)
+from repro.dag.generators import diamond_stack, path_dag
+
+
+class TestDirectedGraph:
+    def test_construction(self):
+        d = DirectedGraph(3, [(0, 1), (1, 2)])
+        assert d.n == 3 and d.m == 2
+        assert d.has_arc(0, 1)
+        assert not d.has_arc(1, 0)
+
+    def test_duplicate_arc_ignored(self):
+        d = DirectedGraph(2, [(0, 1), (0, 1)])
+        assert d.m == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            DirectedGraph(2, [(1, 1)])
+
+    def test_neighbors_directional(self):
+        d = DirectedGraph(3, [(0, 1), (2, 1)])
+        assert sorted(d.neighbors(0)) == [1]
+        assert sorted(d.neighbors(1)) == []
+        assert sorted(d.in_neighbors(1)) == [0, 2]
+        assert d.out_degree(0) == 1
+
+    def test_reverse(self):
+        d = DirectedGraph(3, [(0, 1), (1, 2)])
+        r = d.reverse()
+        assert r.has_arc(1, 0) and r.has_arc(2, 1)
+        assert not r.has_arc(0, 1)
+
+    def test_acyclicity(self):
+        assert DirectedGraph(3, [(0, 1), (1, 2)]).is_acyclic()
+        assert not DirectedGraph(2, [(0, 1), (1, 0)]).is_acyclic()
+
+    def test_topological_order(self):
+        d = DirectedGraph(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        order = d.topological_order()
+        assert order.index(0) < order.index(1) < order.index(3)
+        with pytest.raises(GraphError):
+            DirectedGraph(2, [(0, 1), (1, 0)]).topological_order()
+
+    def test_view_is_directional(self):
+        d = DirectedGraph(3, [(0, 1), (1, 0), (1, 2)])
+        view = d.without([(0, 1)])
+        assert not view.has_arc(0, 1)
+        assert view.has_arc(1, 0)  # the opposite arc survives
+        assert sorted(view.neighbors(0)) == []
+        assert list(view.arcs()) != list(d.arcs())
+
+
+class TestGenerators:
+    def test_layered_dag_structure(self):
+        dag = random_layered_dag(4, 3, p=0.5, seed=1)
+        assert dag.n == 12
+        assert dag.is_acyclic()
+        # every non-final-layer vertex has at least one out-arc
+        for v in range(9):
+            assert dag.out_degree(v) >= 1
+
+    def test_skip_arcs(self):
+        dag = random_layered_dag(5, 3, p=0.5, seed=2, skip_p=1.0)
+        # with skip_p = 1 every eligible vertex skips
+        assert any(v - u > 3 for u, v in dag.arcs())
+        assert dag.is_acyclic()
+
+    def test_invalid_params(self):
+        with pytest.raises(GraphError):
+            random_layered_dag(1, 3)
+        with pytest.raises(GraphError):
+            random_layered_dag(3, 3, p=2.0)
+
+    def test_diamond_stack(self):
+        dag = diamond_stack(3)
+        assert dag.n == 1 + 3 * 3
+        assert dag.is_acyclic()
+
+    def test_path_dag(self):
+        dag = path_dag(5)
+        assert dag.m == 4
+        assert dag.is_acyclic()
+
+
+class TestDagRestorationLemma:
+    def test_holds_on_layered_dags(self):
+        for seed in range(3):
+            dag = random_layered_dag(5, 3, p=0.6, seed=seed, skip_p=0.2)
+            for arc in dag.arcs():
+                for s in range(0, dag.n, 4):
+                    for t in range(2, dag.n, 5):
+                        if s != t:
+                            assert verify_dag_restoration_lemma(
+                                dag, s, t, arc
+                            )
+
+    def test_vacuous_on_path(self):
+        dag = path_dag(4)
+        assert verify_dag_restoration_lemma(dag, 0, 3, (1, 2))
+
+
+class TestDagTiebreaking:
+    def test_requires_acyclic(self):
+        cyclic = DirectedGraph(2, [(0, 1), (1, 0)])
+        with pytest.raises(GraphError):
+            DagTiebreaking(cyclic)
+
+    def test_paths_are_shortest(self):
+        dag = random_layered_dag(5, 4, p=0.5, seed=3)
+        scheme = DagTiebreaking(dag, seed=1)
+        from repro.spt.dijkstra import dijkstra
+
+        dist, _ = dijkstra(dag, 0, lambda u, v: 1)
+        for t in dag.vertices():
+            hops = scheme.hop_distance(0, t)
+            if t in dist:
+                assert hops == dist[t]
+            else:
+                assert hops is None
+
+    def test_forward_backward_agree(self):
+        dag = random_layered_dag(4, 3, p=0.7, seed=5)
+        scheme = DagTiebreaking(dag, seed=2)
+        t = dag.n - 1
+        for x in dag.vertices():
+            fwd = scheme.path(x, t)
+            bwd = scheme.backward_path(x, t)
+            if fwd is None:
+                assert bwd is None
+            else:
+                # unique shortest paths: extraction direction irrelevant
+                assert fwd.vertices == bwd.vertices
+
+    def test_faulted_path_avoids_arc(self):
+        dag = diamond_stack(3)
+        scheme = DagTiebreaking(dag, seed=4)
+        primary = scheme.path(0, dag.n - 1)
+        arc = next(iter(primary.arcs()))
+        rerouted = scheme.path(0, dag.n - 1, [arc])
+        assert rerouted is not None
+        assert arc not in set(rerouted.arcs())
+
+
+class TestDagRestorabilityStudy:
+    """Empirical evidence for the paper's conjectured DAG extension."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_layered_dags_restorable(self, seed):
+        dag = random_layered_dag(4, 3, p=0.6, seed=seed)
+        scheme = DagTiebreaking(dag, seed=seed)
+        assert dag_restorability_violations(scheme) == []
+
+    def test_diamond_stack_restorable(self):
+        dag = diamond_stack(4)
+        scheme = DagTiebreaking(dag, seed=7)
+        assert dag_restorability_violations(scheme) == []
+
+    def test_skip_arcs_restorable(self):
+        dag = random_layered_dag(4, 3, p=0.6, seed=9, skip_p=0.3)
+        scheme = DagTiebreaking(dag, seed=9)
+        assert dag_restorability_violations(scheme) == []

@@ -1,0 +1,97 @@
+"""Tests for distributed FT preservers (Lemma 36, Theorem 8)."""
+
+import pytest
+
+from repro.exceptions import CongestError, GraphError
+from repro.graphs import generators
+from repro.core.weights import AntisymmetricWeights
+from repro.distributed.preserver import (
+    distributed_ss_preserver,
+    distributed_sv_preserver,
+)
+from repro.preservers import ft_sv_preserver, verify_preserver
+from repro.core.scheme import RestorableTiebreaking
+from repro.spt.apsp import diameter
+from repro.distributed.scheduler import theorem35_bound
+
+
+class TestLemma36:
+    @pytest.fixture(scope="class")
+    def built(self):
+        g = generators.torus(4, 4)
+        S = [0, 5, 10, 15]
+        result = distributed_ss_preserver(g, S, faults_tolerated=1, seed=4)
+        return g, S, result
+
+    def test_preserver_correct(self, built):
+        g, S, result = built
+        assert verify_preserver(g, result.preserver.edges, S, f=1)
+
+    def test_size_bound_sn(self, built):
+        g, S, result = built
+        assert result.preserver.size <= len(S) * (g.n - 1)
+
+    def test_rounds_near_d_plus_s(self, built):
+        g, S, result = built
+        bound = theorem35_bound(
+            result.max_edge_congestion, diameter(g) + len(S), g.n
+        )
+        assert result.total_rounds <= bound
+
+    def test_one_wave_for_single_fault(self, built):
+        _g, S, result = built
+        assert len(result.wave_stats) == 1
+        assert result.instances == len(S)
+
+
+class TestTheorem8Higher:
+    def test_2ft_ss_preserver_correct(self):
+        g = generators.connected_erdos_renyi(14, 0.22, seed=3)
+        S = [0, 4, 9]
+        result = distributed_ss_preserver(g, S, faults_tolerated=2, seed=1)
+        assert verify_preserver(g, result.preserver.edges, S, f=2)
+        assert len(result.wave_stats) == 2
+        assert result.instances > len(S)
+
+    def test_3ft_ss_preserver_sampled(self):
+        g = generators.connected_erdos_renyi(10, 0.35, seed=5)
+        S = [0, 5]
+        result = distributed_ss_preserver(
+            g, S, faults_tolerated=3, seed=2, max_instances=4000
+        )
+        fault_sets = generators.fault_sample(g, 20, seed=9, size=3)
+        assert verify_preserver(
+            g, result.preserver.edges, S, fault_sets=fault_sets
+        )
+
+    def test_matches_centralized_overlay(self):
+        g = generators.connected_erdos_renyi(14, 0.22, seed=3)
+        S = [0, 4]
+        weights = AntisymmetricWeights.random(g, f=2, seed=8)
+        dist_result = distributed_sv_preserver(g, S, f=1, weights=weights)
+        scheme = RestorableTiebreaking(weights)
+        central = ft_sv_preserver(scheme, S, f=1)
+        assert dist_result.preserver.edges == central.edges
+
+    def test_instance_budget_guard(self):
+        g = generators.connected_erdos_renyi(20, 0.2, seed=1)
+        with pytest.raises(CongestError):
+            distributed_sv_preserver(g, [0, 1], f=2, max_instances=10)
+
+    def test_invalid_params(self):
+        g = generators.path(4)
+        with pytest.raises(GraphError):
+            distributed_ss_preserver(g, [0, 3], faults_tolerated=0)
+        with pytest.raises(GraphError):
+            distributed_sv_preserver(g, [0], f=-1)
+
+    def test_stats_aggregation(self):
+        g = generators.grid(3, 3)
+        result = distributed_ss_preserver(g, [0, 8], faults_tolerated=2, seed=6)
+        assert result.total_messages == sum(
+            s.messages for s in result.wave_stats
+        )
+        assert result.total_rounds == sum(
+            s.rounds for s in result.wave_stats
+        )
+        assert result.max_edge_congestion >= 1

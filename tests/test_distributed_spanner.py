@@ -1,0 +1,53 @@
+"""Tests for distributed FT +4 spanners (Corollary 9)."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import generators
+from repro.distributed.spanner import distributed_ft_spanner
+from repro.spanners import verify_spanner
+
+
+class TestCorollary9:
+    @pytest.fixture(scope="class")
+    def built(self):
+        g = generators.connected_erdos_renyi(16, 0.2, seed=2)
+        result = distributed_ft_spanner(g, faults_tolerated=1, seed=3)
+        return g, result
+
+    def test_stretch_exhaustive(self, built):
+        g, result = built
+        assert verify_spanner(g, result.spanner.edges, f=1, additive=4)
+
+    def test_rounds_include_clustering(self, built):
+        _g, result = built
+        assert result.clustering_stats.rounds >= 1
+        assert result.total_rounds == (
+            result.clustering_stats.rounds
+            + result.preserver_result.total_rounds
+        )
+
+    def test_clustering_announcement_is_one_broadcast(self, built):
+        g, result = built
+        # centers broadcast once: messages <= sum of center degrees
+        center_degree = sum(g.degree(c) for c in result.spanner.centers)
+        assert result.clustering_stats.messages <= center_degree
+
+    def test_2ft_sampled(self):
+        g = generators.connected_erdos_renyi(12, 0.3, seed=7)
+        result = distributed_ft_spanner(g, faults_tolerated=2, seed=1)
+        fault_sets = generators.fault_sample(g, 15, seed=4, size=2)
+        assert verify_spanner(
+            g, result.spanner.edges, additive=4, fault_sets=fault_sets
+        )
+
+    def test_invalid_faults(self):
+        with pytest.raises(GraphError):
+            distributed_ft_spanner(generators.path(4), faults_tolerated=0)
+
+    def test_spanner_metadata(self, built):
+        g, result = built
+        spanner = result.spanner
+        assert spanner.faults_tolerated == 1
+        assert set(spanner.centers).issubset(set(g.vertices()))
+        assert spanner.preserver_size <= spanner.size + g.n

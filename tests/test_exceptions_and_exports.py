@@ -1,0 +1,102 @@
+"""Tests for the exception hierarchy and public API surface."""
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    CongestError,
+    DisconnectedError,
+    GraphError,
+    LabelingError,
+    ReproError,
+    RestorationError,
+    TiebreakingError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        GraphError, DisconnectedError, TiebreakingError,
+        RestorationError, CongestError, LabelingError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_disconnected_is_graph_error(self):
+        assert issubclass(DisconnectedError, GraphError)
+
+    def test_disconnected_message_without_faults(self):
+        err = DisconnectedError(3, 7)
+        assert "3" in str(err) and "7" in str(err)
+        assert "avoiding" not in str(err)
+        assert err.faults == ()
+
+    def test_disconnected_message_with_faults(self):
+        err = DisconnectedError(0, 5, [(1, 2)])
+        assert "avoiding" in str(err)
+        assert err.faults == ((1, 2),)
+
+    def test_one_except_catches_everything(self):
+        caught = 0
+        for exc in (GraphError("x"), TiebreakingError("x"),
+                    RestorationError("x"), CongestError("x"),
+                    LabelingError("x")):
+            try:
+                raise exc
+            except ReproError:
+                caught += 1
+        assert caught == 5
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_core_entry_points_importable(self):
+        from repro import (
+            DistanceLabeling,
+            MplsRouter,
+            RestorableTiebreaking,
+            ft_plus4_spanner,
+            ft_ss_preserver,
+            restore_by_concatenation,
+            subset_replacement_paths,
+        )
+
+        assert callable(restore_by_concatenation)
+        assert callable(subset_replacement_paths)
+        assert callable(ft_ss_preserver)
+        assert callable(ft_plus4_spanner)
+        assert hasattr(RestorableTiebreaking, "build")
+        assert hasattr(DistanceLabeling, "build")
+        assert MplsRouter is not None
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.dag
+        import repro.distributed
+        import repro.graphs
+        import repro.labeling
+        import repro.oracles
+        import repro.preservers
+        import repro.replacement
+        import repro.spanners
+        import repro.spt
+        import repro.weighted
+
+    def test_docstring_example_runs(self):
+        """The module docstring's quickstart must stay truthful."""
+        from repro import RestorableTiebreaking, restore_by_concatenation
+        from repro.graphs import generators
+
+        g = generators.grid(4, 4)
+        scheme = RestorableTiebreaking.build(g, f=1, seed=7)
+        broken = next(iter(scheme.path(0, 15).edges()))
+        result = restore_by_concatenation(scheme, 0, 15, [broken])
+        assert result.path.hops == 6

@@ -1,0 +1,136 @@
+"""Failure-injection suite: randomized fault storms, oracle-checked.
+
+Rather than hand-picked faults, these tests drive the user-facing
+components (router, oracle, labels, subset-rp results) through seeded
+random failure storms and validate every response against brute-force
+BFS — the closest thing a library like this has to chaos testing.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import DisconnectedError
+from repro.graphs import generators
+from repro.core.routing import MplsRouter, fault_patch
+from repro.core.scheme import RestorableTiebreaking
+from repro.labeling import DistanceLabeling
+from repro.oracles import SourcewiseDSO
+from repro.spt.apsp import replacement_distance
+from repro.spt.bfs import UNREACHABLE, bfs_distances
+
+
+@pytest.fixture(scope="module")
+def network():
+    g = generators.connected_erdos_renyi(32, 0.12, seed=77)
+    scheme = RestorableTiebreaking.build(g, f=2, seed=77)
+    return g, scheme
+
+
+class TestRouterStorm:
+    def test_sequential_link_failures(self, network):
+        g, scheme = network
+        router = MplsRouter(scheme)
+        rng = random.Random(1)
+        lsps = [tuple(rng.sample(range(g.n), 2)) for _ in range(10)]
+        for trial in range(25):
+            link = rng.choice(list(g.edges()))
+            for s, t in lsps:
+                truth = replacement_distance(g, s, t, [link])
+                if truth == UNREACHABLE:
+                    with pytest.raises(DisconnectedError):
+                        router.restore(s, t, link)
+                else:
+                    restored = router.restore(s, t, link)
+                    assert restored.hops == truth
+                    assert restored.avoids([link])
+                    assert restored.is_valid_in(g)
+
+    def test_patch_storm_consistency(self, network):
+        g, scheme = network
+        rng = random.Random(2)
+        for _ in range(6):
+            link = rng.choice(list(g.edges()))
+            patch = fault_patch(scheme, link)
+            # applying the patch yields the post-fault next hops
+            for (s, t), (_old, new) in patch.items():
+                post = scheme.path(s, t, [link])
+                if post is None:
+                    assert new is None
+                else:
+                    assert new == post[1]
+
+
+class TestOracleStorm:
+    def test_random_queries_vs_bfs(self, network):
+        g, scheme = network
+        oracle = SourcewiseDSO(g, [0, 15], scheme=scheme)
+        rng = random.Random(3)
+        edges = list(g.edges())
+        for _ in range(300):
+            s = rng.choice([0, 15])
+            v = rng.randrange(g.n)
+            e = rng.choice(edges)
+            assert oracle.query(s, v, e) == \
+                replacement_distance(g, s, v, [e])
+
+
+class TestLabelStorm:
+    def test_two_fault_label_queries(self):
+        g = generators.connected_erdos_renyi(16, 0.25, seed=55)
+        lab = DistanceLabeling.build(g, f=1, seed=55)
+        rng = random.Random(4)
+        edges = list(g.edges())
+        for _ in range(60):
+            faults = rng.sample(edges, 2)
+            s, t = rng.sample(range(g.n), 2)
+            truth = bfs_distances(g.without(faults), s)[t]
+            assert lab.distance(s, t, faults) == truth
+
+
+class TestDistributedEnumerationCharge:
+    def test_charged_rounds_strictly_higher(self):
+        from repro.distributed import distributed_ss_preserver
+
+        g = generators.connected_erdos_renyi(14, 0.25, seed=9)
+        S = [0, 7]
+        plain = distributed_ss_preserver(g, S, faults_tolerated=2, seed=1)
+        charged = distributed_ss_preserver(
+            g, S, faults_tolerated=2, seed=1, charge_enumeration=True
+        )
+        assert charged.preserver.edges == plain.preserver.edges
+        assert charged.total_rounds > plain.total_rounds
+
+    def test_single_fault_uncharged(self):
+        from repro.distributed import distributed_ss_preserver
+
+        g = generators.torus(4, 4)
+        S = [0, 5]
+        plain = distributed_ss_preserver(g, S, faults_tolerated=1, seed=2)
+        charged = distributed_ss_preserver(
+            g, S, faults_tolerated=1, seed=2, charge_enumeration=True
+        )
+        # Lemma 36 needs no enumeration: one wave, no next-wave naming
+        assert charged.total_rounds == plain.total_rounds
+
+
+class TestMultiFaultRestorationStorm:
+    def test_random_double_faults(self, network):
+        g, scheme = network
+        from repro.core.restoration import restore_by_concatenation
+
+        rng = random.Random(5)
+        edges = list(g.edges())
+        tried = 0
+        for _ in range(40):
+            faults = tuple(rng.sample(edges, 2))
+            s, t = rng.sample(range(g.n), 2)
+            truth = replacement_distance(g, s, t, list(faults))
+            if truth == UNREACHABLE:
+                continue
+            tried += 1
+            result = restore_by_concatenation(scheme, s, t, faults)
+            assert result.path.hops == truth
+        assert tried > 10  # the storm actually exercised restorations

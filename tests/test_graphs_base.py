@@ -1,0 +1,127 @@
+"""Unit tests for the Graph substrate."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.base import Graph, canonical_edge
+
+
+class TestCanonicalEdge:
+    def test_orders_endpoints(self):
+        assert canonical_edge(3, 1) == (1, 3)
+        assert canonical_edge(1, 3) == (1, 3)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            canonical_edge(2, 2)
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph()
+        assert g.n == 0
+        assert g.m == 0
+        assert list(g.edges()) == []
+
+    def test_edges_in_constructor(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert g.m == 2
+        assert g.has_edge(0, 1)
+        assert g.has_edge(2, 1)
+
+    def test_duplicate_edges_ignored(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.m == 1
+
+    def test_negative_vertices_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-1)
+
+    def test_self_loop_rejected(self):
+        g = Graph(2)
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1)
+
+    def test_unknown_vertex_rejected(self):
+        g = Graph(2)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 5)
+
+    def test_non_int_vertex_rejected(self):
+        g = Graph(2)
+        with pytest.raises(GraphError):
+            g.add_edge(0, "a")
+
+    def test_add_vertex_returns_new_id(self):
+        g = Graph(2)
+        assert g.add_vertex() == 2
+        assert g.n == 3
+
+    def test_add_vertices_returns_range(self):
+        g = Graph(1)
+        ids = g.add_vertices(3)
+        assert list(ids) == [1, 2, 3]
+
+    def test_add_path(self):
+        g = Graph(4)
+        g.add_path([0, 1, 2, 3])
+        assert g.m == 3
+        assert g.has_edge(1, 2)
+
+
+class TestQueries:
+    def test_neighbors(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert sorted(g.neighbors(0)) == [1, 2, 3]
+        assert g.sorted_neighbors(0) == [1, 2, 3]
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+
+    def test_edges_are_canonical_and_unique(self):
+        g = Graph(3, [(2, 0), (1, 2)])
+        assert sorted(g.edges()) == [(0, 2), (1, 2)]
+
+    def test_arcs_give_both_orientations(self):
+        g = Graph(2, [(0, 1)])
+        assert sorted(g.arcs()) == [(0, 1), (1, 0)]
+
+    def test_has_edge_bounds(self):
+        g = Graph(2, [(0, 1)])
+        assert not g.has_edge(0, 5)
+        assert not g.has_edge(0, 0)
+
+    def test_is_connected(self):
+        assert Graph(0).is_connected()
+        assert Graph(3, [(0, 1), (1, 2)]).is_connected()
+        assert not Graph(3, [(0, 1)]).is_connected()
+
+
+class TestDerived:
+    def test_copy_is_independent(self):
+        g = Graph(3, [(0, 1)])
+        h = g.copy()
+        h.add_edge(1, 2)
+        assert g.m == 1
+        assert h.m == 2
+
+    def test_equality(self):
+        assert Graph(2, [(0, 1)]) == Graph(2, [(1, 0)])
+        assert Graph(2, [(0, 1)]) != Graph(3, [(0, 1)])
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Graph(1))
+
+    def test_networkx_round_trip(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        back = Graph.from_networkx(g.to_networkx())
+        assert back == g
+
+    def test_from_networkx_relabels(self):
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_edge("b", "a")
+        g = Graph.from_networkx(nxg)
+        assert g.n == 2
+        assert g.has_edge(0, 1)

@@ -1,0 +1,135 @@
+"""Unit tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import generators
+from repro.spt.apsp import diameter
+
+
+class TestBasicFamilies:
+    def test_cycle(self):
+        g = generators.cycle(5)
+        assert g.n == 5 and g.m == 5
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            generators.cycle(2)
+
+    def test_path(self):
+        g = generators.path(4)
+        assert g.m == 3
+        assert g.degree(0) == 1 and g.degree(1) == 2
+
+    def test_complete(self):
+        g = generators.complete(5)
+        assert g.m == 10
+
+    def test_complete_bipartite(self):
+        g = generators.complete_bipartite(2, 3)
+        assert g.n == 5 and g.m == 6
+        assert not g.has_edge(0, 1)
+        assert g.has_edge(0, 2)
+
+    def test_star(self):
+        g = generators.star(6)
+        assert g.m == 5
+        assert g.degree(0) == 5
+
+
+class TestMeshes:
+    def test_grid_structure(self):
+        g = generators.grid(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert g.has_edge(0, 1) and g.has_edge(0, 4)
+        assert not g.has_edge(3, 4)  # row wrap must not exist
+
+    def test_grid_diameter(self):
+        assert diameter(generators.grid(3, 3)) == 4
+
+    def test_torus_regular(self):
+        g = generators.torus(4, 5)
+        assert g.n == 20
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_torus_min_size(self):
+        with pytest.raises(GraphError):
+            generators.torus(2, 4)
+
+    def test_hypercube(self):
+        g = generators.hypercube(3)
+        assert g.n == 8 and g.m == 12
+        assert all(g.degree(v) == 3 for v in g.vertices())
+        assert diameter(g) == 3
+
+
+class TestRandomFamilies:
+    def test_erdos_renyi_deterministic_by_seed(self):
+        a = generators.erdos_renyi(30, 0.2, seed=1)
+        b = generators.erdos_renyi(30, 0.2, seed=1)
+        c = generators.erdos_renyi(30, 0.2, seed=2)
+        assert a == b
+        assert a != c
+
+    def test_erdos_renyi_p_bounds(self):
+        with pytest.raises(GraphError):
+            generators.erdos_renyi(5, 1.5)
+        assert generators.erdos_renyi(5, 0.0).m == 0
+        assert generators.erdos_renyi(5, 1.0).m == 10
+
+    def test_gnm_exact_edges(self):
+        g = generators.gnm(20, 30, seed=4)
+        assert g.n == 20 and g.m == 30
+
+    def test_gnm_too_many(self):
+        with pytest.raises(GraphError):
+            generators.gnm(4, 10)
+
+    def test_connected_er_is_connected(self):
+        for seed in range(5):
+            g = generators.connected_erdos_renyi(25, 0.02, seed=seed)
+            assert g.is_connected()
+
+    def test_random_regular(self):
+        g = generators.random_regular(12, 3, seed=0)
+        assert all(g.degree(v) == 3 for v in g.vertices())
+
+
+class TestSpecials:
+    def test_petersen(self):
+        g = generators.petersen()
+        assert g.n == 10 and g.m == 15
+        assert all(g.degree(v) == 3 for v in g.vertices())
+        assert diameter(g) == 2
+
+    def test_biclique_chain_tie_factory(self):
+        g = generators.biclique_chain(2, 3)
+        # 1 + (3 + 1) * 2 vertices
+        assert g.n == 9
+        assert g.is_connected()
+        from repro.core.properties import all_shortest_paths
+
+        # between the two chain endpoints: 3 * 3 tied shortest paths
+        assert len(all_shortest_paths(g, 0, 8)) == 9
+
+    def test_fault_sample_distinct(self):
+        g = generators.grid(4, 4)
+        samples = generators.fault_sample(g, 10, seed=3, size=2)
+        assert len(samples) == 10
+        assert len(set(samples)) == 10
+        for fs in samples:
+            assert len(fs) == 2
+
+    def test_fault_sample_size_guard(self):
+        g = generators.path(3)
+        with pytest.raises(GraphError):
+            generators.fault_sample(g, 1, size=5)
+
+    def test_by_name_dispatch(self):
+        assert generators.by_name("grid", 3).n == 9
+        assert generators.by_name("hypercube", 3).n == 8
+        assert generators.by_name("er", 10, seed=1).is_connected()
+        with pytest.raises(GraphError):
+            generators.by_name("nope", 5)

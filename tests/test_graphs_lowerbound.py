@@ -1,0 +1,166 @@
+"""Tests for the Appendix-B lower-bound constructions (Theorem 27)."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.lowerbound import (
+    build_gf,
+    build_lower_bound_instance,
+    build_multi_source_instance,
+    forced_preserver_edges,
+    theoretical_lower_bound,
+)
+from repro.spt.bfs import UNREACHABLE, bfs_distances
+
+
+class TestGfGadget:
+    def test_g1_shape(self):
+        graph, gadget = build_gf(1, 4)
+        # spine d + sum_{i} (d - i + 1) extra path vertices
+        assert len(gadget.spine) == 4
+        assert len(gadget.leaves) == 4
+        assert graph.n == 4 + (4 + 3 + 2 + 1)
+        assert gadget.root == gadget.spine[0]
+
+    def test_g1_leaf_depth_equal(self):
+        graph, gadget = build_gf(1, 5)
+        dist = bfs_distances(graph, gadget.root)
+        depths = {dist[z] for z in gadget.leaves}
+        assert depths == {gadget.depth} == {5}
+
+    def test_g1_labels_lemma38(self):
+        graph, gadget = build_gf(1, 4)
+        dist0 = bfs_distances(graph, gadget.root)
+        for i, leaf in enumerate(gadget.leaves, start=1):
+            label = gadget.labels[leaf]
+            view = graph.without(label)
+            dist = bfs_distances(view, gadget.root)
+            # (2): the labelled leaf's path survives at equal length
+            assert dist[leaf] == dist0[leaf]
+            # (3): every leaf to the right is disconnected
+            for right in gadget.leaves[i:]:
+                assert dist[right] == UNREACHABLE
+
+    def test_g2_recursive_structure(self):
+        graph, gadget = build_gf(2, 4)
+        # d copies of G_1(2), each contributing 2 leaves
+        assert len(gadget.leaves) == 4 * 2
+        assert all(len(gadget.labels[z]) <= 2 for z in gadget.leaves)
+        dist = bfs_distances(graph, gadget.root)
+        assert len({dist[z] for z in gadget.leaves}) == 1  # Lemma 38(4)
+
+    def test_g2_labels_keep_own_leaf(self):
+        graph, gadget = build_gf(2, 4)
+        dist0 = bfs_distances(graph, gadget.root)
+        for leaf in gadget.leaves:
+            view = graph.without(gadget.labels[leaf])
+            assert bfs_distances(view, gadget.root)[leaf] == dist0[leaf]
+
+    def test_unique_root_leaf_paths(self):
+        # Lemma 38(1): G_f(d) is a tree, so paths are unique.
+        graph, gadget = build_gf(2, 4)
+        assert graph.m == graph.n - 1
+        assert graph.is_connected()
+
+    def test_invalid_params(self):
+        with pytest.raises(GraphError):
+            build_gf(0, 3)
+        with pytest.raises(GraphError):
+            build_gf(1, 0)
+
+
+class TestLowerBoundInstance:
+    def test_vertex_budget(self):
+        inst = build_lower_bound_instance(150, 1)
+        assert inst.n >= 150  # gadget + X, at least the budget
+        assert len(inst.x_vertices) >= 1
+
+    def test_adversarial_scheme_unique_paths(self):
+        inst = build_lower_bound_instance(80, 1)
+        from repro.spt.dijkstra import count_min_weight_paths
+
+        counts = count_min_weight_paths(
+            inst.graph, inst.sources[0], inst.scheme.weight
+        )
+        assert all(c == 1 for c in counts.values())
+
+    def test_forced_edges_include_bipartite_block(self):
+        inst = build_lower_bound_instance(120, 1)
+        forced = forced_preserver_edges(inst)
+        gadget = inst.gadgets[0]
+        num_leaves = len(gadget.leaves)
+        # every leaf with a nonempty label forces its full X-star
+        expected_bipartite = (num_leaves - 1) * len(inst.x_vertices)
+        bipartite_forced = forced & set(inst.bipartite_edges)
+        assert len(bipartite_forced) >= expected_bipartite
+
+    def test_forced_replacement_last_edge_is_labelled_leaf(self):
+        # The heart of Theorem 27: under Label(z_j), the replacement
+        # path to each x in X arrives through z_j itself.
+        inst = build_lower_bound_instance(100, 1)
+        gadget = inst.gadgets[0]
+        source = inst.sources[0]
+        for j, leaf in enumerate(gadget.leaves[:-1], start=1):
+            label = gadget.labels[leaf]
+            tree = inst.scheme.tree(source, label)
+            for x in inst.x_vertices[:5]:
+                path = tree.path_to(x)
+                assert path[-2] == leaf
+
+    def test_f2_instance(self):
+        inst = build_lower_bound_instance(200, 2)
+        forced = forced_preserver_edges(inst)
+        assert len(forced) > 0
+        assert inst.f == 2
+
+    def test_multi_source(self):
+        inst = build_multi_source_instance(150, 1, sigma=3)
+        assert len(inst.sources) == 3
+        assert len(inst.all_labels()) == sum(
+            len(g.leaves) for g in inst.gadgets
+        )
+        forced = forced_preserver_edges(inst)
+        assert len(forced) > len(inst.x_vertices)
+
+    def test_theoretical_bound_monotone(self):
+        assert theoretical_lower_bound(200, 1) > theoretical_lower_bound(100, 1)
+        assert theoretical_lower_bound(100, 1, sigma=4) > \
+            theoretical_lower_bound(100, 1, sigma=1)
+
+    def test_invalid_params(self):
+        with pytest.raises(GraphError):
+            build_lower_bound_instance(100, 0)
+        with pytest.raises(GraphError):
+            build_multi_source_instance(100, 1, sigma=0)
+
+
+class TestAdversarialSchemeProperties:
+    """The bad scheme must be consistent, stable, and symmetric —
+    that is exactly what makes Theorem 27 bite."""
+
+    @pytest.fixture(scope="class")
+    def inst(self):
+        return build_lower_bound_instance(60, 1)
+
+    def test_consistent(self, inst):
+        from repro.core.properties import is_consistent
+
+        pairs = [
+            (inst.sources[0], x) for x in inst.x_vertices[:3]
+        ] + [(inst.x_vertices[0], inst.sources[0])]
+        assert is_consistent(inst.scheme, pairs=pairs)
+
+    def test_symmetric(self, inst):
+        from repro.core.properties import is_symmetric
+
+        pairs = [(inst.sources[0], x) for x in inst.x_vertices[:4]]
+        assert is_symmetric(inst.scheme, pairs=pairs)
+
+    def test_stable(self, inst):
+        from repro.core.properties import stability_violations
+
+        pairs = [(inst.sources[0], inst.x_vertices[0])]
+        some_edges = list(inst.graph.edges())[:40]
+        assert not stability_violations(
+            inst.scheme, pairs=pairs, extra_edges=some_edges
+        )

@@ -1,0 +1,120 @@
+"""Tests for FT exact distance labeling (Theorem 30)."""
+
+import pytest
+
+from repro.exceptions import LabelingError
+from repro.graphs import generators
+from repro.labeling import DistanceLabeling, VertexLabel
+from repro.labeling.scheme import _BitReader, _BitWriter
+from repro.spt.bfs import bfs_distances
+from repro.analysis.bounds import thm30_label_bits_bound
+
+
+class TestBitPacking:
+    def test_round_trip(self):
+        writer = _BitWriter()
+        writer.write(5, 4)
+        writer.write(1023, 10)
+        writer.write(0, 3)
+        data, bits = writer.to_bytes()
+        assert bits == 17
+        reader = _BitReader(data, bits)
+        assert reader.read(4) == 5
+        assert reader.read(10) == 1023
+        assert reader.read(3) == 0
+
+    def test_overflow_rejected(self):
+        writer = _BitWriter()
+        with pytest.raises(LabelingError):
+            writer.write(16, 4)
+
+    def test_truncation_detected(self):
+        writer = _BitWriter()
+        writer.write(3, 2)
+        data, bits = writer.to_bytes()
+        reader = _BitReader(data, bits)
+        reader.read(2)
+        with pytest.raises(LabelingError):
+            reader.read(1)
+
+
+class TestVertexLabel:
+    def test_encode_decode_round_trip(self):
+        edges = [(0, 1), (1, 2), (0, 3)]
+        label = VertexLabel.encode(2, 4, edges)
+        n, vertex, decoded = label.decode()
+        assert (n, vertex) == (4, 2)
+        assert sorted(decoded) == sorted(edges)
+
+    def test_bits_counted_honestly(self):
+        label = VertexLabel.encode(0, 16, [(0, 1)])
+        # 32 (n) + 4 (vertex) + 32 (count) + 2 * 4 (edge) = 76
+        assert label.bits == 76
+
+
+class TestDistanceLabeling:
+    @pytest.fixture(scope="class")
+    def labeled(self):
+        g = generators.connected_erdos_renyi(16, 0.18, seed=10)
+        return g, DistanceLabeling.build(g, f=0, seed=4)
+
+    def test_fault_free_queries(self, labeled):
+        g, lab = labeled
+        for s in g.vertices():
+            dist = bfs_distances(g, s)
+            for t in g.vertices():
+                assert lab.distance(s, t) == dist[t]
+
+    def test_single_fault_queries_exhaustive(self, labeled):
+        g, lab = labeled
+        for e in g.edges():
+            view = g.without([e])
+            for s in (0, 7, 15):
+                dist = bfs_distances(view, s)
+                for t in g.vertices():
+                    if t != s:
+                        assert lab.distance(s, t, [e]) == dist[t]
+
+    def test_two_fault_tolerance(self):
+        g = generators.connected_erdos_renyi(12, 0.3, seed=3)
+        lab = DistanceLabeling.build(g, f=1, seed=2)
+        assert lab.faults_tolerated == 2
+        for faults in generators.fault_sample(g, 20, seed=5, size=2):
+            view = g.without(faults)
+            dist = bfs_distances(view, 0)
+            for t in range(1, g.n):
+                assert lab.distance(0, t, faults) == dist[t]
+
+    def test_query_is_label_only(self, labeled):
+        g, lab = labeled
+        # the static query sees only two labels and the fault set
+        d = DistanceLabeling.query(lab.label(0), lab.label(5), [])
+        assert d == bfs_distances(g, 0)[5]
+
+    def test_mismatched_graphs_rejected(self, labeled):
+        _g, lab = labeled
+        other = generators.path(4)
+        other_lab = DistanceLabeling.build(other, f=0, seed=0)
+        with pytest.raises(LabelingError):
+            DistanceLabeling.query(lab.label(0), other_lab.label(1))
+
+    def test_unknown_vertex_rejected(self, labeled):
+        _g, lab = labeled
+        with pytest.raises(LabelingError):
+            lab.label(999)
+
+    def test_disconnection_returns_minus_one(self):
+        g = generators.path(4)
+        lab = DistanceLabeling.build(g, f=0, seed=1)
+        assert lab.distance(0, 3, [(1, 2)]) == -1
+
+    def test_label_sizes_within_theorem30(self, labeled):
+        g, lab = labeled
+        bound = thm30_label_bits_bound(g.n, 0)
+        # constants are generous at this scale; shape-level check
+        assert lab.max_label_bits() <= 3 * bound
+        assert lab.total_bits() >= lab.max_label_bits()
+
+    def test_distance_to_self(self, labeled):
+        _g, lab = labeled
+        assert lab.distance(3, 3) == 0

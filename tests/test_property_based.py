@@ -1,0 +1,238 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Strategies generate small random connected graphs and random fault
+choices; the properties are the paper's invariants: path algebra laws,
+ATW antisymmetry/uniqueness, Theorem 19's stability + consistency +
+restorability, Theorem 1's restoration lemma, and preserver/labeling
+correctness under faults.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.graphs.base import Graph
+from repro.core.restoration import (
+    restore_by_concatenation,
+    verify_restoration_lemma,
+    verify_weighted_restoration_lemma,
+)
+from repro.core.scheme import RestorableTiebreaking
+from repro.core.weights import AntisymmetricWeights
+from repro.spt.apsp import replacement_distance
+from repro.spt.bfs import UNREACHABLE, bfs_distances
+from repro.spt.paths import Path
+
+COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def connected_graphs(draw, min_n=4, max_n=14):
+    """A connected graph: random spanning tree + random extra edges."""
+    n = draw(st.integers(min_n, max_n))
+    seed = draw(st.integers(0, 2**16))
+    rng = random.Random(seed)
+    g = Graph(n)
+    order = list(range(n))
+    rng.shuffle(order)
+    for i in range(1, n):
+        g.add_edge(order[i], order[rng.randrange(i)])
+    extra = draw(st.integers(0, 2 * n))
+    for _ in range(extra):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            g.add_edge(u, v)
+    return g
+
+
+@st.composite
+def simple_paths(draw, max_len=8):
+    """A simple vertex sequence usable as a Path."""
+    verts = draw(
+        st.lists(st.integers(0, 50), min_size=1, max_size=max_len,
+                 unique=True)
+    )
+    return Path(verts)
+
+
+# ----------------------------------------------------------------------
+# path algebra laws
+# ----------------------------------------------------------------------
+class TestPathAlgebra:
+    @given(simple_paths())
+    @settings(max_examples=60, **COMMON)
+    def test_reverse_involution(self, p):
+        assert p.reverse().reverse() == p
+
+    @given(simple_paths())
+    @settings(max_examples=60, **COMMON)
+    def test_reverse_swaps_endpoints(self, p):
+        r = p.reverse()
+        assert (r.source, r.target) == (p.target, p.source)
+        assert r.hops == p.hops
+
+    @given(simple_paths())
+    @settings(max_examples=60, **COMMON)
+    def test_edges_orientation_invariant(self, p):
+        assert p.edge_set() == p.reverse().edge_set()
+
+    @given(simple_paths(), simple_paths())
+    @settings(max_examples=60, **COMMON)
+    def test_concat_lengths_add(self, p, q):
+        if p.target != q.source:
+            return
+        joined = p.concat(q)
+        assert joined.hops == p.hops + q.hops
+        assert joined.source == p.source and joined.target == q.target
+
+    @given(simple_paths())
+    @settings(max_examples=60, **COMMON)
+    def test_prefix_suffix_partition(self, p):
+        for v in p:
+            pre = p.prefix_to(v)
+            suf = p.suffix_from(v)
+            assert pre.concat(suf) == p
+
+
+# ----------------------------------------------------------------------
+# ATW invariants
+# ----------------------------------------------------------------------
+class TestWeightInvariants:
+    @given(connected_graphs(), st.integers(0, 2**16))
+    @settings(max_examples=20, **COMMON)
+    def test_antisymmetry_and_uniqueness(self, g, seed):
+        atw = AntisymmetricWeights.random(g, f=1, seed=seed)
+        assert atw.verify_antisymmetry()
+        from repro.spt.dijkstra import count_min_weight_paths
+
+        counts = count_min_weight_paths(g, 0, atw.weight)
+        assert all(c == 1 for c in counts.values())
+
+    @given(connected_graphs())
+    @settings(max_examples=15, **COMMON)
+    def test_deterministic_weights_tiebreak(self, g):
+        atw = AntisymmetricWeights.deterministic(g)
+        # deterministic weights must tiebreak for EVERY fault set;
+        # spot-check the empty set + a few single faults
+        fault_sets = [()] + [(e,) for e in list(g.edges())[:4]]
+        assert atw.verify_tiebreaking(fault_sets=fault_sets, sources=[0])
+
+    @given(connected_graphs(), st.integers(0, 2**16))
+    @settings(max_examples=20, **COMMON)
+    def test_selected_paths_are_unweighted_shortest(self, g, seed):
+        scheme = RestorableTiebreaking.build(g, f=1, seed=seed)
+        dist = bfs_distances(g, 0)
+        for t in g.vertices():
+            assert scheme.path(0, t).hops == dist[t]
+
+
+# ----------------------------------------------------------------------
+# Theorem 19 + Theorem 2: the main result as a random property
+# ----------------------------------------------------------------------
+class TestMainTheoremProperty:
+    @given(connected_graphs(), st.integers(0, 2**16), st.data())
+    @settings(max_examples=25, **COMMON)
+    def test_single_fault_restoration_always_succeeds(self, g, seed, data):
+        scheme = RestorableTiebreaking.build(g, f=1, seed=seed)
+        s = data.draw(st.integers(0, g.n - 1))
+        t = data.draw(st.integers(0, g.n - 1))
+        if s == t:
+            return
+        edges = list(g.edges())
+        e = edges[data.draw(st.integers(0, len(edges) - 1))]
+        target = replacement_distance(g, s, t, [e])
+        if target == UNREACHABLE:
+            return
+        result = restore_by_concatenation(scheme, s, t, [e])
+        assert result.path.hops == target
+        assert result.path.avoids([e])
+        assert result.path.is_valid_in(g)
+
+    @given(connected_graphs(), st.integers(0, 2**16), st.data())
+    @settings(max_examples=12, **COMMON)
+    def test_two_fault_restoration(self, g, seed, data):
+        scheme = RestorableTiebreaking.build(g, f=2, seed=seed)
+        edges = list(g.edges())
+        if len(edges) < 2:
+            return
+        i = data.draw(st.integers(0, len(edges) - 1))
+        j = data.draw(st.integers(0, len(edges) - 1))
+        if i == j:
+            return
+        faults = [edges[i], edges[j]]
+        target = replacement_distance(g, 0, g.n - 1, faults)
+        if target == UNREACHABLE:
+            return
+        result = restore_by_concatenation(scheme, 0, g.n - 1, faults)
+        assert result.path.hops == target
+        assert result.path.avoids(faults)
+
+
+# ----------------------------------------------------------------------
+# restoration lemmas as universal properties
+# ----------------------------------------------------------------------
+class TestRestorationLemmaProperty:
+    @given(connected_graphs(), st.data())
+    @settings(max_examples=25, **COMMON)
+    def test_theorem1(self, g, data):
+        edges = list(g.edges())
+        e = edges[data.draw(st.integers(0, len(edges) - 1))]
+        s = data.draw(st.integers(0, g.n - 1))
+        t = data.draw(st.integers(0, g.n - 1))
+        if s != t:
+            assert verify_restoration_lemma(g, s, t, e)
+
+    @given(connected_graphs(), st.data())
+    @settings(max_examples=25, **COMMON)
+    def test_theorem11(self, g, data):
+        edges = list(g.edges())
+        e = edges[data.draw(st.integers(0, len(edges) - 1))]
+        s = data.draw(st.integers(0, g.n - 1))
+        t = data.draw(st.integers(0, g.n - 1))
+        if s != t:
+            assert verify_weighted_restoration_lemma(g, s, t, e)
+
+
+# ----------------------------------------------------------------------
+# applications under random graphs
+# ----------------------------------------------------------------------
+class TestApplicationProperties:
+    @given(connected_graphs(max_n=12), st.integers(0, 2**10))
+    @settings(max_examples=10, **COMMON)
+    def test_1ft_ss_preserver_property(self, g, seed):
+        from repro.preservers import ft_ss_preserver, verify_preserver
+
+        S = [0, g.n - 1, g.n // 2]
+        p = ft_ss_preserver(g, S, faults_tolerated=1, seed=seed)
+        assert verify_preserver(g, p.edges, S, f=1)
+
+    @given(connected_graphs(max_n=10), st.integers(0, 2**10))
+    @settings(max_examples=8, **COMMON)
+    def test_labeling_single_fault_property(self, g, seed):
+        from repro.labeling import DistanceLabeling
+
+        lab = DistanceLabeling.build(g, f=0, seed=seed)
+        for e in list(g.edges())[:3]:
+            view = g.without([e])
+            dist = bfs_distances(view, 0)
+            for t in range(1, g.n):
+                assert lab.distance(0, t, [e]) == dist[t]
+
+    @given(connected_graphs(max_n=12), st.integers(0, 2**10))
+    @settings(max_examples=8, **COMMON)
+    def test_subset_rp_property(self, g, seed):
+        from repro.replacement import subset_replacement_paths
+
+        S = [0, g.n - 1]
+        result = subset_replacement_paths(g, S, seed=seed)
+        for (s1, s2), per_edge in result.distances.items():
+            for e, d in per_edge.items():
+                assert d == replacement_distance(g, s1, s2, [e])

@@ -1,0 +1,132 @@
+"""Tests for FT +4 additive spanners (Lemma 32, Theorem 33)."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import generators
+from repro.spanners import ft_plus4_spanner, spanner_violations, verify_spanner
+from repro.spanners.additive import default_sigma
+
+
+class TestConstruction:
+    def test_1ft_stretch_exhaustive(self):
+        g = generators.connected_erdos_renyi(16, 0.2, seed=4)
+        spanner = ft_plus4_spanner(g, faults_tolerated=1, seed=1)
+        assert verify_spanner(g, spanner.edges, f=1, additive=4)
+
+    def test_2ft_stretch_sampled(self):
+        g = generators.connected_erdos_renyi(14, 0.25, seed=8)
+        spanner = ft_plus4_spanner(g, faults_tolerated=2, seed=2)
+        fault_sets = generators.fault_sample(g, 25, seed=3, size=2)
+        assert verify_spanner(
+            g, spanner.edges, additive=4, fault_sets=fault_sets
+        )
+
+    def test_unclustered_vertices_keep_all_edges(self):
+        g = generators.connected_erdos_renyi(20, 0.15, seed=5)
+        spanner = ft_plus4_spanner(g, faults_tolerated=1, sigma=4, seed=1)
+        for v in g.vertices():
+            if v not in spanner.clustered:
+                for u in g.neighbors(v):
+                    edge = (min(u, v), max(u, v))
+                    assert edge in spanner.edges
+
+    def test_clustered_vertices_keep_f_plus_1_center_edges(self):
+        g = generators.complete(12)  # everyone clusters
+        spanner = ft_plus4_spanner(g, faults_tolerated=1, sigma=6, seed=3)
+        centers = set(spanner.centers)
+        for v in spanner.clustered:
+            kept = [
+                e for e in spanner.edges
+                if v in e and (set(e) - {v}).issubset(centers)
+            ]
+            assert len(kept) >= 2  # f + 1 = 2
+
+    def test_zero_faults_rejected(self, grid4):
+        with pytest.raises(GraphError):
+            ft_plus4_spanner(grid4, faults_tolerated=0)
+
+    def test_spanner_is_subgraph(self, grid4):
+        spanner = ft_plus4_spanner(grid4, faults_tolerated=1, seed=7)
+        graph_edges = set(grid4.edges())
+        assert all(e in graph_edges for e in spanner.edges)
+
+    def test_preserver_size_recorded(self):
+        g = generators.connected_erdos_renyi(18, 0.2, seed=9)
+        spanner = ft_plus4_spanner(g, faults_tolerated=1, seed=4)
+        assert 0 < spanner.preserver_size <= spanner.size + len(g.vertices())
+
+    def test_as_graph(self, grid4):
+        spanner = ft_plus4_spanner(grid4, faults_tolerated=1, seed=7)
+        assert spanner.as_graph().m == spanner.size
+
+
+class TestDefaultSigma:
+    def test_theorem33_balance(self):
+        # f = 0 overlay: sigma = n^{1/2}
+        assert default_sigma(100, 0) == 10
+        # f = 1 overlay: sigma = n^{1/3}
+        assert default_sigma(1000, 1) == 10
+
+    def test_clipping(self):
+        assert default_sigma(1, 0) == 1
+        assert 1 <= default_sigma(4, 3) <= 4
+
+
+class TestVerificationHarness:
+    def test_full_graph_is_spanner(self, grid4):
+        assert verify_spanner(grid4, grid4.edges(), f=1)
+
+    def test_detects_bad_stretch(self):
+        g = generators.cycle(12)
+        # a single spanning path of the cycle has stretch 11 > +4
+        spine = [(i, i + 1) for i in range(11)]
+        violations = spanner_violations(g, spine, f=0)
+        assert violations
+
+    def test_disconnection_counts_as_violation(self):
+        g = generators.cycle(6)
+        violations = spanner_violations(g, [], f=0)
+        assert violations
+        assert violations[0][4] == -1
+
+
+class TestPlus2Spanner:
+    """The prior-work +2 FT comparator (Section 1.1)."""
+
+    def test_1ft_plus2_stretch_exhaustive(self):
+        from repro.spanners import ft_plus2_spanner
+
+        g = generators.connected_erdos_renyi(14, 0.25, seed=6)
+        spanner = ft_plus2_spanner(g, faults_tolerated=1, seed=2)
+        assert verify_spanner(g, spanner.edges, f=1, additive=2)
+
+    def test_2ft_plus2_sampled(self):
+        from repro.spanners import ft_plus2_spanner
+
+        g = generators.connected_erdos_renyi(12, 0.35, seed=9)
+        spanner = ft_plus2_spanner(g, faults_tolerated=2, seed=1)
+        fault_sets = generators.fault_sample(g, 15, seed=4, size=2)
+        assert verify_spanner(
+            g, spanner.edges, additive=2, fault_sets=fault_sets
+        )
+
+    def test_plus4_sparser_on_dense_inputs(self):
+        from repro.spanners import ft_plus2_spanner
+
+        g = generators.connected_erdos_renyi(60, 0.35, seed=11)
+        p2 = ft_plus2_spanner(g, faults_tolerated=1, seed=3)
+        p4 = ft_plus4_spanner(g, faults_tolerated=1, seed=3)
+        assert p4.size < p2.size
+
+    def test_invalid_faults(self):
+        from repro.spanners import ft_plus2_spanner
+
+        with pytest.raises(GraphError):
+            ft_plus2_spanner(generators.cycle(5), faults_tolerated=0)
+
+    def test_default_sigma_plus2(self):
+        from repro.spanners.plus2 import default_sigma_plus2
+
+        assert default_sigma_plus2(1000, 1) == 10
+        assert 1 <= default_sigma_plus2(2, 1) <= 2

@@ -1,0 +1,72 @@
+"""Unit tests for all-pairs helpers."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import generators
+from repro.graphs.base import Graph
+from repro.spt.apsp import (
+    all_pairs_bfs_distances,
+    diameter,
+    distance_matrix,
+    eccentricity,
+    replacement_distance,
+)
+
+
+class TestApsp:
+    def test_all_pairs_default_sources(self):
+        g = generators.cycle(5)
+        rows = all_pairs_bfs_distances(g)
+        assert set(rows) == set(range(5))
+        assert rows[0][2] == 2
+
+    def test_restricted_sources(self):
+        g = generators.path(4)
+        rows = all_pairs_bfs_distances(g, sources=[1])
+        assert set(rows) == {1}
+
+    def test_matrix_symmetric(self):
+        g = generators.connected_erdos_renyi(20, 0.15, seed=3)
+        mat = distance_matrix(g)
+        for u in range(20):
+            for v in range(20):
+                assert mat[u][v] == mat[v][u]
+
+    def test_matches_networkx_diameter(self):
+        g = generators.connected_erdos_renyi(30, 0.1, seed=8)
+        assert diameter(g) == nx.diameter(g.to_networkx())
+
+
+class TestEccentricity:
+    def test_path_endpoints(self):
+        g = generators.path(5)
+        assert eccentricity(g, 0) == 4
+        assert eccentricity(g, 2) == 2
+        assert diameter(g) == 4
+
+    def test_disconnected_raises(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            eccentricity(g, 0)
+
+
+class TestReplacementDistance:
+    def test_cycle_detour(self):
+        g = generators.cycle(6)
+        assert replacement_distance(g, 0, 1, [(0, 1)]) == 5
+
+    def test_disconnecting_fault(self):
+        g = generators.path(3)
+        assert replacement_distance(g, 0, 2, [(1, 2)]) == -1
+
+    def test_irrelevant_fault(self):
+        g = generators.grid(3, 3)
+        assert replacement_distance(g, 0, 1, [(7, 8)]) == 1
+
+    def test_works_on_views(self):
+        g = generators.cycle(6)
+        view = g.without([(2, 3)])
+        # a second fault on the view
+        assert replacement_distance(view, 0, 1, [(0, 1)]) == -1

@@ -1,0 +1,107 @@
+"""Unit tests for the exact-integer Dijkstra and path counting."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import generators
+from repro.graphs.base import Graph
+from repro.spt.bfs import bfs_distances
+from repro.spt.dijkstra import count_min_weight_paths, dijkstra, extract_path
+
+
+def unit(u, v):
+    return 1
+
+
+class TestDijkstra:
+    def test_unit_weights_match_bfs(self):
+        g = generators.connected_erdos_renyi(30, 0.1, seed=2)
+        dist, _parent = dijkstra(g, 0, unit)
+        bfs = bfs_distances(g, 0)
+        assert all(dist[v] == bfs[v] for v in dist)
+
+    def test_asymmetric_weights(self):
+        g = Graph(3, [(0, 1), (1, 2), (0, 2)])
+
+        def w(u, v):
+            return 1 if u < v else 5
+
+        dist_fwd, _ = dijkstra(g, 0, w)
+        dist_bwd, _ = dijkstra(g, 2, w)
+        assert dist_fwd[2] == 1  # direct cheap arc 0->2
+        assert dist_bwd[0] == 5  # going back is expensive everywhere
+
+    def test_huge_integer_weights_exact(self):
+        g = generators.path(4)
+        big = 10 ** 50
+
+        def w(u, v):
+            return big + (1 if u < v else -1)
+
+        dist, _ = dijkstra(g, 0, w)
+        assert dist[3] == 3 * big + 3
+
+    def test_nonpositive_weight_rejected(self):
+        g = generators.path(3)
+        with pytest.raises(GraphError):
+            dijkstra(g, 0, lambda u, v: 0)
+
+    def test_unknown_source(self):
+        with pytest.raises(GraphError):
+            dijkstra(Graph(1), 4, unit)
+
+    def test_targets_early_exit(self):
+        g = generators.path(10)
+        dist, _ = dijkstra(g, 0, unit, targets=[2])
+        assert dist[2] == 2
+        assert 9 not in dist  # never settled
+
+    def test_unreachable_absent(self):
+        g = Graph(3, [(0, 1)])
+        dist, parent = dijkstra(g, 0, unit)
+        assert 2 not in dist and 2 not in parent
+
+    def test_parent_chain_consistent(self):
+        g = generators.grid(4, 4)
+        dist, parent = dijkstra(g, 0, unit)
+        for v, p in parent.items():
+            if p is not None:
+                assert dist[v] == dist[p] + 1
+
+
+class TestCountMinWeightPaths:
+    def test_grid_counts_binomial(self):
+        # Unit weights on a grid: C(4, 2) = 6 shortest corner paths.
+        g = generators.grid(3, 3)
+        counts = count_min_weight_paths(g, 0, unit)
+        assert counts[8] == 6
+        assert counts[0] == 1
+
+    def test_perturbed_weights_unique(self):
+        from repro.core.weights import AntisymmetricWeights
+
+        g = generators.grid(3, 3)
+        atw = AntisymmetricWeights.random(g, f=1, seed=5)
+        counts = count_min_weight_paths(g, 0, atw.weight)
+        assert all(c == 1 for c in counts.values())
+
+    def test_cycle_even_has_two(self):
+        g = generators.cycle(6)
+        counts = count_min_weight_paths(g, 0, unit)
+        assert counts[3] == 2  # antipodal vertex
+        assert counts[1] == 1
+
+
+class TestExtractPath:
+    def test_round_trip(self):
+        g = generators.grid(3, 3)
+        _dist, parent = dijkstra(g, 0, unit)
+        path = extract_path(parent, 8)
+        assert path.source == 0 and path.target == 8
+        assert path.hops == 4
+        assert path.is_valid_in(g)
+
+    def test_missing_target(self):
+        g = Graph(3, [(0, 1)])
+        _dist, parent = dijkstra(g, 0, unit)
+        assert extract_path(parent, 2) is None

@@ -1,0 +1,147 @@
+"""Unit tests for the Path algebra."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.base import Graph
+from repro.spt.paths import Path, is_replacement_path, join_at_midpoint
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = Path([0, 1, 2])
+        assert p.source == 0 and p.target == 2
+        assert p.hops == 2 and len(p) == 3
+        assert list(p) == [0, 1, 2]
+        assert p[1] == 1
+
+    def test_trivial(self):
+        p = Path.trivial(5)
+        assert p.hops == 0
+        assert p.source == p.target == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            Path([])
+
+    def test_consecutive_duplicate_rejected(self):
+        with pytest.raises(GraphError):
+            Path([0, 0, 1])
+
+    def test_equality_and_hash(self):
+        assert Path([0, 1]) == Path([0, 1])
+        assert Path([0, 1]) != Path([1, 0])
+        assert len({Path([0, 1]), Path([0, 1]), Path([1, 0])}) == 2
+
+
+class TestEdgeViews:
+    def test_arcs_ordered(self):
+        assert list(Path([2, 1, 0]).arcs()) == [(2, 1), (1, 0)]
+
+    def test_edges_canonical(self):
+        assert list(Path([2, 1, 0]).edges()) == [(1, 2), (0, 1)]
+
+    def test_uses_edge_both_orientations(self):
+        p = Path([0, 1, 2])
+        assert p.uses_edge((1, 0))
+        assert p.uses_edge((0, 1))
+        assert not p.uses_edge((0, 2))
+
+    def test_uses_arc_is_oriented(self):
+        p = Path([0, 1, 2])
+        assert p.uses_arc((0, 1))
+        assert not p.uses_arc((1, 0))
+
+    def test_avoids(self):
+        p = Path([0, 1, 2])
+        assert p.avoids([(0, 2)])
+        assert not p.avoids([(2, 1)])
+        assert p.avoids([])
+
+
+class TestAlgebra:
+    def test_reverse(self):
+        assert Path([0, 1, 2]).reverse() == Path([2, 1, 0])
+        assert Path([3]).reverse() == Path([3])
+
+    def test_concat(self):
+        combined = Path([0, 1]).concat(Path([1, 2]))
+        assert combined == Path([0, 1, 2])
+
+    def test_concat_mismatch(self):
+        with pytest.raises(GraphError):
+            Path([0, 1]).concat(Path([2, 3]))
+
+    def test_concat_with_trivial(self):
+        assert Path([0, 1]).concat(Path.trivial(1)) == Path([0, 1])
+
+    def test_prefix_suffix_subpath(self):
+        p = Path([0, 1, 2, 3])
+        assert p.prefix_to(2) == Path([0, 1, 2])
+        assert p.suffix_from(2) == Path([2, 3])
+        assert p.subpath(1, 3) == Path([1, 2, 3])
+
+    def test_subpath_order_enforced(self):
+        with pytest.raises(GraphError):
+            Path([0, 1, 2]).subpath(2, 0)
+
+    def test_precedes(self):
+        p = Path([0, 1, 2])
+        assert p.precedes(0, 2)
+        assert p.precedes(1, 1)
+        assert not p.precedes(2, 0)
+        assert not p.precedes(0, 9)
+
+    def test_missing_vertex(self):
+        with pytest.raises(GraphError):
+            Path([0, 1]).prefix_to(7)
+
+
+class TestValidity:
+    def test_is_simple(self):
+        assert Path([0, 1, 2]).is_simple()
+        assert not Path([0, 1, 0]).is_simple()
+
+    def test_is_valid_in(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert Path([0, 1, 2]).is_valid_in(g)
+        assert not Path([0, 2]).is_valid_in(g)
+
+    def test_weight(self):
+        p = Path([0, 1, 2])
+        assert p.weight(lambda u, v: 10) == 20
+        assert p.weight(lambda u, v: u + v) == 1 + 3
+
+
+class TestJoinAtMidpoint:
+    def test_theorem2_shape(self):
+        # pi(s, x) = 0->1->2 and pi(t, x) = 4->3->2, midpoint x = 2
+        joined = join_at_midpoint(Path([0, 1, 2]), Path([4, 3, 2]))
+        assert joined == Path([0, 1, 2, 3, 4])
+
+    def test_midpoint_mismatch(self):
+        with pytest.raises(GraphError):
+            join_at_midpoint(Path([0, 1]), Path([2, 3]))
+
+    def test_trivial_midpoint_at_target(self):
+        joined = join_at_midpoint(Path([0, 1, 2]), Path.trivial(2))
+        assert joined == Path([0, 1, 2])
+
+
+class TestIsReplacementPath:
+    def test_accepts_valid(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        q = Path([0, 3, 2])
+        assert is_replacement_path(g, q, [(0, 1)], required_hops=2)
+
+    def test_rejects_wrong_length(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert not is_replacement_path(g, Path([0, 3, 2]), [(0, 1)], 3)
+
+    def test_rejects_fault_use(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert not is_replacement_path(g, Path([0, 1, 2]), [(0, 1)], 2)
+
+    def test_rejects_nonexistent_edges(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert not is_replacement_path(g, Path([0, 2]), [(0, 1)], 1)

@@ -1,0 +1,88 @@
+"""Unit tests for ShortestPathTree."""
+
+import pytest
+
+from repro.exceptions import DisconnectedError, GraphError
+from repro.graphs import generators
+from repro.graphs.base import Graph
+from repro.spt.bfs import bfs_distances
+from repro.spt.trees import ShortestPathTree
+
+
+def unit(u, v):
+    return 1
+
+
+@pytest.fixture
+def grid_tree():
+    return ShortestPathTree.compute(generators.grid(3, 3), 0, unit)
+
+
+class TestBasics:
+    def test_root_and_reach(self, grid_tree):
+        assert grid_tree.root == 0
+        assert grid_tree.reaches(8)
+        assert 8 in grid_tree
+        assert len(grid_tree.reached_vertices()) == 9
+
+    def test_path_to(self, grid_tree):
+        path = grid_tree.path_to(8)
+        assert path.source == 0 and path.target == 8
+        assert path.hops == 4
+
+    def test_hop_vs_weighted_distance(self, grid_tree):
+        assert grid_tree.hop_distance(8) == 4
+        assert grid_tree.weighted_distance(8) == 4
+
+    def test_depth(self, grid_tree):
+        assert grid_tree.depth() == 4
+
+    def test_unreachable_raises(self):
+        g = Graph(3, [(0, 1)])
+        tree = ShortestPathTree.compute(g, 0, unit)
+        assert not tree.reaches(2)
+        with pytest.raises(DisconnectedError):
+            tree.path_to(2)
+        with pytest.raises(DisconnectedError):
+            tree.hop_distance(2)
+
+    def test_bad_parent_map_rejected(self):
+        with pytest.raises(GraphError):
+            ShortestPathTree(0, {0: 1, 1: 0}, {0: 0, 1: 1})
+
+
+class TestScaledWeights:
+    def test_hop_recovery_under_perturbation(self):
+        from repro.core.weights import AntisymmetricWeights
+
+        g = generators.connected_erdos_renyi(25, 0.12, seed=6)
+        atw = AntisymmetricWeights.random(g, f=1, seed=1)
+        tree = ShortestPathTree.compute(g, 0, atw.weight, atw.scale)
+        bfs = bfs_distances(g, 0)
+        for v in tree.reached_vertices():
+            assert tree.hop_distance(v) == bfs[v]
+
+
+class TestStructure:
+    def test_edges_form_tree(self, grid_tree):
+        edges = list(grid_tree.edges())
+        assert len(edges) == 8  # n - 1 for a connected graph
+        assert len(grid_tree.edge_set()) == 8
+
+    def test_paths_stay_in_tree(self, grid_tree):
+        edge_set = grid_tree.edge_set()
+        for v in range(9):
+            for e in grid_tree.path_to(v).edges():
+                assert e in edge_set
+
+    def test_next_hop(self, grid_tree):
+        assert grid_tree.next_hop(0) is None
+        nh = grid_tree.next_hop(8)
+        assert nh in (1, 3)  # the first step off the root
+        assert grid_tree.path_to(8)[1] == nh
+
+    def test_next_hop_unreachable(self):
+        g = Graph(3, [(0, 1)])
+        tree = ShortestPathTree.compute(g, 0, unit)
+        with pytest.raises(DisconnectedError):
+            tree.next_hop(2)

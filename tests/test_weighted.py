@@ -1,0 +1,168 @@
+"""Tests for the weighted-graph extension (Theorem 11, base sets)."""
+
+import pytest
+
+from repro.exceptions import DisconnectedError, GraphError
+from repro.graphs import generators
+from repro.spt.apsp import replacement_distance
+from repro.spt.dijkstra import dijkstra
+from repro.weighted import (
+    BaseSet,
+    WeightedGraph,
+    restore_via_middle_edge,
+    weighted_restoration_lemma_holds,
+)
+
+
+class TestWeightedGraph:
+    def test_construction(self):
+        wg = WeightedGraph(3, [(0, 1, 5), (1, 2, 3)])
+        assert wg.n == 3 and wg.m == 2
+        assert wg.weight(0, 1) == 5
+        assert wg.weight(1, 0) == 5  # symmetric
+        assert wg.total_weight() == 8
+
+    def test_invalid_weight(self):
+        with pytest.raises(GraphError):
+            WeightedGraph(2, [(0, 1, 0)])
+
+    def test_missing_edge_weight(self):
+        wg = WeightedGraph(3, [(0, 1, 1)])
+        with pytest.raises(GraphError):
+            wg.weight(0, 2)
+
+    def test_from_unit_graph(self):
+        g = generators.cycle(5)
+        wg = WeightedGraph.from_unit_graph(g)
+        assert wg.m == 5
+        assert all(wg.weight(u, v) == 1 for u, v in wg.edges())
+
+    def test_random_connected(self):
+        wg = WeightedGraph.random(20, 0.15, seed=3)
+        assert wg.unit_graph().is_connected()
+        assert all(1 <= wg.weight(u, v) <= 20 for u, v in wg.edges())
+
+    def test_path_weight(self):
+        from repro.spt.paths import Path
+
+        wg = WeightedGraph(3, [(0, 1, 5), (1, 2, 3)])
+        assert wg.path_weight(Path([0, 1, 2])) == 8
+
+    def test_view_removes_edge(self):
+        wg = WeightedGraph(3, [(0, 1, 5), (1, 2, 3), (0, 2, 9)])
+        view = wg.without([(0, 1)])
+        assert not view.has_edge(0, 1)
+        assert view.weight(0, 2) == 9
+        with pytest.raises(GraphError):
+            view.weight(0, 1)
+
+    def test_dijkstra_on_weighted(self):
+        wg = WeightedGraph(4, [(0, 1, 1), (1, 2, 1), (0, 2, 5), (2, 3, 1)])
+        dist, _ = dijkstra(wg, 0, wg.arc_weight)
+        assert dist[2] == 2  # through 1, not the weight-5 edge
+        assert dist[3] == 3
+
+    def test_perturbed_weights_unique_and_faithful(self):
+        wg = WeightedGraph.random(15, 0.25, seed=5)
+        arc_weight, scale = wg.perturbed_weight(seed=2)
+        from repro.spt.dijkstra import count_min_weight_paths
+
+        counts = count_min_weight_paths(wg, 0, arc_weight)
+        assert all(c == 1 for c in counts.values())
+        # perturbed distances round to true weighted distances
+        true_dist, _ = dijkstra(wg, 0, wg.arc_weight)
+        pert_dist, _ = dijkstra(wg, 0, arc_weight)
+        for v, d in pert_dist.items():
+            assert (d + scale // 2) // scale == true_dist[v]
+
+
+class TestWeightedRestorationLemma:
+    def test_holds_on_random_weighted_graphs(self):
+        for seed in range(3):
+            wg = WeightedGraph.random(14, 0.25, seed=seed)
+            for e in list(wg.edges())[:8]:
+                for s, t in ((0, 13), (3, 9)):
+                    assert weighted_restoration_lemma_holds(wg, s, t, e)
+
+    def test_holds_on_unit_graphs(self):
+        wg = WeightedGraph.from_unit_graph(generators.grid(4, 4))
+        for e in list(wg.edges())[:8]:
+            assert weighted_restoration_lemma_holds(wg, 0, 15, e)
+
+    def test_vacuous_on_disconnection(self):
+        wg = WeightedGraph(3, [(0, 1, 2), (1, 2, 2)])
+        assert weighted_restoration_lemma_holds(wg, 0, 2, (1, 2))
+
+
+class TestRestoreViaMiddleEdge:
+    def test_matches_dijkstra_truth(self):
+        wg = WeightedGraph.random(18, 0.2, seed=7)
+        tree_dist, parent = dijkstra(wg, 0, wg.arc_weight)
+        for e in list(wg.edges())[:10]:
+            view = wg.without([e])
+            dist_after, _ = dijkstra(view, 0, view.arc_weight)
+            if 17 not in dist_after:
+                with pytest.raises(DisconnectedError):
+                    restore_via_middle_edge(wg, 0, 17, e)
+                continue
+            path, weight = restore_via_middle_edge(wg, 0, 17, e)
+            assert weight == dist_after[17]
+            assert path.avoids([e])
+
+    def test_weighted_path_structure(self):
+        wg = WeightedGraph(4, [(0, 1, 1), (1, 3, 1), (0, 2, 2), (2, 3, 2)])
+        path, weight = restore_via_middle_edge(wg, 0, 3, (0, 1))
+        assert weight == 4
+        assert path.vertices == (0, 2, 3)
+
+
+class TestBaseSet:
+    @pytest.fixture(scope="class")
+    def base(self):
+        g = generators.connected_erdos_renyi(20, 0.15, seed=9)
+        return g, BaseSet(g, seed=2)
+
+    def test_canonical_symmetric(self, base):
+        g, bs = base
+        for s, t in ((0, 10), (3, 17)):
+            fwd = bs.canonical(s, t)
+            bwd = bs.canonical(t, s)
+            assert fwd.vertices == bwd.reverse().vertices
+
+    def test_canonical_is_shortest(self, base):
+        g, bs = base
+        from repro.spt.bfs import bfs_distances
+
+        dist = bfs_distances(g, 0)
+        for t in range(1, g.n):
+            assert bs.canonical(0, t).hops == dist[t]
+
+    def test_count_below_bound(self, base):
+        _g, bs = base
+        assert bs.count_paths() <= bs.theoretical_bound()
+
+    def test_restore_exact(self, base):
+        g, bs = base
+        path = bs.canonical(0, 19)
+        for e in path.edges():
+            truth = replacement_distance(g, 0, 19, [e])
+            if truth == -1:
+                with pytest.raises(DisconnectedError):
+                    bs.restore(0, 19, e)
+            else:
+                restored = bs.restore(0, 19, e)
+                assert restored.hops == truth
+                assert restored.avoids([e])
+
+    def test_restore_off_path_fault(self, base):
+        g, bs = base
+        path = bs.canonical(0, 19)
+        off = next(e for e in g.edges() if not path.uses_edge(e))
+        assert bs.restore(0, 19, off) == path
+
+    def test_disconnected_canonical(self):
+        from repro.graphs.base import Graph
+
+        g = Graph(3, [(0, 1)])
+        bs = BaseSet(g, seed=0)
+        assert bs.canonical(0, 2) is None
