@@ -12,10 +12,10 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro.exceptions import GraphError
 from repro.graphs import generators
 from repro.core.scheme import BFSTiebreaking, RestorableTiebreaking
-from repro.core.restoration import midpoint_scan
-from repro.spt.bfs import UNREACHABLE, bfs_distances
+from repro.scenarios.engine import ScenarioEngine
 
 
 def format_table(rows: Sequence[Dict], columns: Optional[Sequence[str]] = None,
@@ -51,7 +51,9 @@ def format_table(rows: Sequence[Dict], columns: Optional[Sequence[str]] = None,
 # ----------------------------------------------------------------------
 # Figure 1 — tiebreaking sensitivity
 # ----------------------------------------------------------------------
-def restoration_success_rate(scheme, pairs_with_faults) -> Dict[str, int]:
+def restoration_success_rate(scheme, pairs_with_faults,
+                             engine: Optional[ScenarioEngine] = None
+                             ) -> Dict[str, int]:
     """Count midpoint-scan (F' = ∅) successes/failures for a scheme.
 
     For each ``(s, t, e)`` instance, the scan concatenates *non-faulty*
@@ -59,15 +61,26 @@ def restoration_success_rate(scheme, pairs_with_faults) -> Dict[str, int]:
     the introduction.  An instance fails when the best concatenation
     avoiding ``e`` is longer than the true replacement distance (or no
     midpoint survives).
+
+    The instance stream is batched through a
+    :class:`~repro.scenarios.engine.ScenarioEngine` (one may be passed
+    in to share its caches across schemes over the same graph), which
+    amortises base BFS vectors and per-tree fault indices instead of
+    rebuilding a :class:`~repro.graphs.views.FaultView` per instance.
     """
-    graph = scheme.graph
+    if engine is None:
+        engine = ScenarioEngine(scheme.graph)
+    elif engine.graph is not scheme.graph:
+        raise GraphError(
+            "engine and scheme must share the same base graph "
+            "(engine caches would silently answer for the wrong graph)"
+        )
     counts = {"instances": 0, "successes": 0, "failures": 0}
-    for s, t, e in pairs_with_faults:
-        target = bfs_distances(graph.without([e]), s)[t]
-        if target == UNREACHABLE:
-            continue
+    for item in engine.restoration_sweep(scheme, pairs_with_faults):
+        if item.value is None:
+            continue  # fault disconnects the pair; nothing to restore
+        target, result = item.value
         counts["instances"] += 1
-        result = midpoint_scan(scheme, s, t, [e])
         if result is not None and result.path.hops == target:
             counts["successes"] += 1
         else:
@@ -98,12 +111,13 @@ def figure1_experiment(families: Sequence[str], size: int,
     rows = []
     for family in families:
         graph = generators.by_name(family, size, seed=seed)
+        engine = ScenarioEngine(graph)  # shared across the two schemes
         for name, scheme in (
             ("bfs-lex", BFSTiebreaking(graph)),
             ("restorable", RestorableTiebreaking.build(graph, f=1, seed=seed)),
         ):
             instances = sensitivity_instances(graph, scheme, limit=limit)
-            counts = restoration_success_rate(scheme, instances)
+            counts = restoration_success_rate(scheme, instances, engine=engine)
             total = max(counts["instances"], 1)
             rows.append({
                 "family": family,

@@ -24,6 +24,7 @@ from typing import Iterable, List, Optional, Set, Tuple
 
 from repro.exceptions import DisconnectedError, RestorationError
 from repro.graphs.base import Edge, canonical_edge
+from repro.graphs.csr import fast_without
 from repro.spt.bfs import UNREACHABLE, bfs_distances
 from repro.spt.paths import Path, join_at_midpoint
 from repro.spt.trees import ShortestPathTree
@@ -40,9 +41,10 @@ def tree_fault_free_vertices(tree: ShortestPathTree,
     """
     fault_set = {canonical_edge(u, v) for u, v in faults}
     good: Set[int] = set()
-    # Process vertices in increasing hop distance so parents settle first.
-    order = sorted(tree.reached_vertices(), key=tree.hop_distance)
-    for v in order:
+    # Process vertices in increasing hop distance so parents settle
+    # first; the order is cached on the (immutable) tree, so repeated
+    # scans over many fault sets pay no re-sort.
+    for v in tree.vertices_by_hop():
         p = tree.parent(v)
         if p is None:
             good.add(v)
@@ -75,20 +77,29 @@ class RestorationResult:
 
 
 def midpoint_scan(scheme, s: int, t: int, faults: Iterable[Edge],
-                  subset: Iterable[Edge] = ()) -> Optional[RestorationResult]:
+                  subset: Iterable[Edge] = (),
+                  fault_free=tree_fault_free_vertices
+                  ) -> Optional[RestorationResult]:
     """One round of the scan: fixed subset ``F'``, all midpoints ``x``.
 
     Returns the best (shortest) concatenation avoiding ``faults`` among
     ``pi(s, x | F') . reverse(pi(t, x | F'))`` over all ``x``, or
     ``None`` when no midpoint survives.  No optimality check is done
     here — callers compare against the true replacement distance.
+
+    ``fault_free`` is the ``(tree, faults) -> set`` provider of
+    fault-free vertex sets; the default recomputes per call, while the
+    scenario engine injects its cached
+    :class:`~repro.scenarios.engine.TreeFaultIndex` lookup.  This is
+    the single implementation of the scan — batch layers parameterise
+    it rather than duplicating it.
     """
     fault_set = {canonical_edge(u, v) for u, v in faults}
     tree_s = scheme.tree(s, subset)
     tree_t = scheme.tree(t, subset)
     remaining = fault_set - {canonical_edge(u, v) for u, v in subset}
-    good_s = tree_fault_free_vertices(tree_s, remaining)
-    good_t = tree_fault_free_vertices(tree_t, remaining)
+    good_s = fault_free(tree_s, remaining)
+    good_t = fault_free(tree_t, remaining)
     candidates = good_s & good_t
     if not candidates:
         return None
@@ -127,7 +138,7 @@ def restore_by_concatenation(scheme, s: int, t: int,
     fault_list = sorted({canonical_edge(u, v) for u, v in faults})
     if not fault_list:
         raise RestorationError("fault set must be nonempty (Definition 17)")
-    view = scheme.graph.without(fault_list)
+    view = fast_without(scheme.graph, fault_list)
     dist_after = bfs_distances(view, s)
     target = dist_after[t]
     if target == UNREACHABLE:
@@ -169,7 +180,7 @@ def verify_restoration_lemma(graph, s: int, t: int, e: Edge) -> bool:
     over full fault/pair sweeps.
     """
     e = canonical_edge(*e)
-    view = graph.without([e])
+    view = fast_without(graph, [e])
     dist_after_s = bfs_distances(view, s)
     if dist_after_s[t] == UNREACHABLE:
         return True  # nothing to restore; lemma is vacuous
@@ -199,7 +210,7 @@ def verify_weighted_restoration_lemma(graph, s: int, t: int, e: Edge) -> bool:
     """
     e = canonical_edge(*e)
     a, b = e
-    view = graph.without([e])
+    view = fast_without(graph, [e])
     dist_after_s = bfs_distances(view, s)
     if dist_after_s[t] == UNREACHABLE:
         return True

@@ -11,6 +11,7 @@ Appendix-B lower-bound families in :mod:`repro.graphs.lowerbound`.
 
 from repro.graphs.base import Graph, canonical_edge
 from repro.graphs.views import FaultView, GraphLike
+from repro.graphs.csr import CSRGraph, CSRFaultView
 from repro.graphs import generators
 from repro.graphs import lowerbound
 
@@ -18,6 +19,8 @@ __all__ = [
     "Graph",
     "FaultView",
     "GraphLike",
+    "CSRGraph",
+    "CSRFaultView",
     "canonical_edge",
     "generators",
     "lowerbound",

@@ -55,7 +55,7 @@ class Graph:
     True
     """
 
-    __slots__ = ("_n", "_adj", "_m")
+    __slots__ = ("_n", "_adj", "_m", "_csr")
 
     def __init__(self, num_vertices: int = 0, edges: Iterable[Edge] = ()):
         if num_vertices < 0:
@@ -63,6 +63,7 @@ class Graph:
         self._n = num_vertices
         self._adj: List[Set[int]] = [set() for _ in range(num_vertices)]
         self._m = 0
+        self._csr = None
         for u, v in edges:
             self.add_edge(u, v)
 
@@ -129,10 +130,21 @@ class Graph:
             return False
         return v in self._adj[u]
 
-    def neighbors(self, v: int) -> Iterator[int]:
-        """Iterate over the neighbours of ``v`` (unspecified order)."""
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """The neighbours of ``v`` as a tuple snapshot (unspecified order).
+
+        Contract: the returned tuple is detached from the adjacency
+        structure, so callers may mutate the graph (``add_edge``,
+        ``add_vertex``) while iterating it.  Historically this returned
+        a live set iterator, and ``add_edge`` inside the loop raised
+        ``RuntimeError: Set changed size during iteration``.  Note that
+        :meth:`FaultView.neighbors <repro.graphs.views.FaultView.neighbors>`
+        remains a lazy generator — fault views are read-only snapshots
+        of an (assumed frozen) base, where laziness is safe and keeps
+        view construction O(|F|).
+        """
         self._check_vertex(v)
-        return iter(self._adj[v])
+        return tuple(self._adj[v])
 
     def sorted_neighbors(self, v: int) -> List[int]:
         """Neighbours of ``v`` in ascending order (deterministic walks)."""
@@ -174,6 +186,24 @@ class Graph:
         from repro.graphs.views import FaultView
 
         return FaultView(self, faults)
+
+    def csr(self):
+        """A cached immutable CSR snapshot of the current graph state.
+
+        The snapshot (see :class:`repro.graphs.csr.CSRGraph`) enables
+        the array-based BFS/Dijkstra fast paths and O(|F|) masked fault
+        views used by :mod:`repro.scenarios`.  Because :class:`Graph`
+        supports insertion only, any mutation changes ``(n, m)``, so the
+        stamp check below is a sound invalidation rule.
+        """
+        from repro.graphs.csr import CSRGraph
+
+        cached = self._csr
+        if (cached is None or cached.n != self._n
+                or cached.m != self._m):
+            cached = CSRGraph.from_graph(self)
+            self._csr = cached
+        return cached
 
     def copy(self) -> "Graph":
         clone = Graph(self._n)

@@ -20,7 +20,14 @@ from repro.graphs.base import Edge, Graph, canonical_edge
 
 @runtime_checkable
 class GraphLike(Protocol):
-    """Structural protocol shared by :class:`Graph` and :class:`FaultView`."""
+    """Structural protocol shared by :class:`Graph`, :class:`FaultView`
+    and the CSR snapshots in :mod:`repro.graphs.csr`.
+
+    ``neighbors`` may return any iterable: :class:`Graph` and the CSR
+    types return tuple snapshots (safe to hold across mutation), while
+    :class:`FaultView` yields lazily.  Callers that need mutation
+    safety on an arbitrary ``GraphLike`` should materialise the result.
+    """
 
     @property
     def n(self) -> int: ...
@@ -32,7 +39,7 @@ class GraphLike(Protocol):
 
     def has_edge(self, u: int, v: int) -> bool: ...
 
-    def neighbors(self, v: int) -> Iterator[int]: ...
+    def neighbors(self, v: int) -> Iterable[int]: ...
 
     def sorted_neighbors(self, v: int) -> List[int]: ...
 
@@ -60,11 +67,19 @@ class FaultView:
     True
     """
 
-    __slots__ = ("_base", "_faults")
+    __slots__ = ("_base", "_faults", "_m")
 
     def __init__(self, base: Graph, faults: Iterable[Edge]):
         self._base = base
         self._faults = frozenset(canonical_edge(u, v) for u, v in faults)
+        # Count the removed edges once: |F| is tiny next to m, and
+        # making `m` O(1) keeps algorithms that consult `view.m` inside
+        # loops from going accidentally quadratic.  (Views assume the
+        # base graph is frozen for their lifetime — the library-wide
+        # "one base graph, many scenarios" convention.)
+        self._m = base.m - sum(
+            1 for e in self._faults if base.has_edge(*e)
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -83,8 +98,8 @@ class FaultView:
 
     @property
     def m(self) -> int:
-        removed = sum(1 for e in self._faults if self._base.has_edge(*e))
-        return self._base.m - removed
+        """Surviving edge count, precomputed at construction (O(1))."""
+        return self._m
 
     def vertices(self) -> range:
         return self._base.vertices()
@@ -98,6 +113,15 @@ class FaultView:
         return canonical_edge(u, v) not in self._faults
 
     def neighbors(self, v: int) -> Iterator[int]:
+        """Lazily yield surviving neighbours of ``v``.
+
+        Contract: unlike :meth:`Graph.neighbors
+        <repro.graphs.base.Graph.neighbors>` (a tuple snapshot), this is
+        a generator filtered on the fly — do not mutate the base graph
+        while consuming it.  For the flat-array equivalent without the
+        per-arc ``canonical_edge`` cost, see
+        :meth:`repro.graphs.csr.CSRFaultView.neighbors`.
+        """
         for u in self._base.neighbors(v):
             if canonical_edge(u, v) not in self._faults:
                 yield u

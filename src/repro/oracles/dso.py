@@ -80,8 +80,7 @@ class SourcewiseDSO:
         # edge sets of each selected path, built incrementally down
         # the tree (O(n * depth) total, shared via frozenset reuse)
         per_vertex: Dict[int, frozenset] = {s: frozenset()}
-        order = sorted(tree.reached_vertices(), key=tree.hop_distance)
-        for v in order:
+        for v in tree.vertices_by_hop():
             p = tree.parent(v)
             if p is not None:
                 per_vertex[v] = per_vertex[p] | {canonical_edge(p, v)}
@@ -92,8 +91,13 @@ class SourcewiseDSO:
         else:
             substrate = self._graph
         self._substrate_edges += substrate.m
+        # One BFS per tree edge, all against the same substrate: build
+        # its CSR snapshot once and mask each fault in O(1).
+        substrate_csr = substrate.csr()
         for e in tree.edges():
-            self._rows[(s, e)] = bfs_distances(substrate.without([e]), s)
+            self._rows[(s, e)] = bfs_distances(
+                substrate_csr.without([e]), s
+            )
             self._preprocessed_edges += 1
 
     # ------------------------------------------------------------------

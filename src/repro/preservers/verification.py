@@ -14,7 +14,6 @@ import itertools
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.graphs.base import Edge, Graph, canonical_edge
-from repro.spt.bfs import bfs_distances
 
 
 def _fault_universe(graph: Graph, f: int,
@@ -58,26 +57,23 @@ def preserver_violations(
     Returns
     -------
     list of ``(faults, s, t, dist_G, dist_H)`` tuples; empty = verified.
+    ``faults`` is reported as a canonical tuple (each edge sorted, the
+    set sorted and deduplicated), regardless of the orientation/order
+    it was supplied in.
     """
-    source_list = sorted(set(sources))
-    target_list = sorted(set(targets)) if targets is not None else source_list
-    sub = Graph(graph.n)
-    for u, v in preserver_edges:
-        sub.add_edge(u, v)
+    # Delegate to the batched engine: one CSR snapshot per graph and a
+    # reusable O(|F|) scratch mask per scenario, instead of a fresh
+    # FaultView + filtered BFS per (fault set, source).  Enumeration
+    # order is unchanged; note the engine reports each fault set in
+    # canonical form (sorted, deduplicated), so explicitly passed
+    # ``fault_sets`` entries may come back reordered.
+    from repro.scenarios.engine import ScenarioEngine
 
-    bad: List[Tuple] = []
-    for faults in _fault_universe(graph, f, fault_sets):
-        g_view = graph.without(faults)
-        h_view = sub.without(faults)
-        for s in source_list:
-            dist_g = bfs_distances(g_view, s)
-            dist_h = bfs_distances(h_view, s)
-            for t in target_list:
-                if t == s:
-                    continue
-                if dist_g[t] != dist_h[t]:
-                    bad.append((faults, s, t, dist_g[t], dist_h[t]))
-    return bad
+    engine = ScenarioEngine(graph)
+    return engine.preserver_violations(
+        preserver_edges, sources,
+        _fault_universe(graph, f, fault_sets), targets,
+    )
 
 
 def verify_preserver(graph: Graph, preserver_edges: Iterable[Edge],

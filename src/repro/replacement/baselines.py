@@ -5,6 +5,11 @@ validated against and benchmarked next to: remove the fault, rerun BFS,
 read the distance.  Their asymptotics (``O(L * m)`` per pair for an
 ``L``-hop path, ``O(σ² L m)`` for subset-rp) are exactly the cost
 Algorithm 1 beats.
+
+Deliberately *not* routed through the CSR fast paths: these functions
+are the naive yardstick the benchmark assertions measure against (and
+the ``bench_scenario_engine`` baseline), so they keep the plain
+``FaultView`` + reference-BFS shape.
 """
 
 from __future__ import annotations

@@ -117,8 +117,12 @@ def subset_replacement_paths(
             if not trees[s1].reaches(s2):
                 continue
             union = _tree_union_graph(graph.n, trees[s1], trees[s2])
+            # Sweep over the union's CSR snapshot: the two Dijkstra
+            # runs and the arc scan take the array fast path, and with
+            # ATW weights (unique shortest paths) the selections are
+            # identical to sweeping the Graph directly.
             path, distances = candidate_sweep(
-                union, s1, s2, weights.weight, weights.scale
+                union.csr(), s1, s2, weights.weight, weights.scale
             )
             key = (s1, s2)
             result.paths[key] = path

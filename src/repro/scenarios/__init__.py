@@ -1,0 +1,53 @@
+"""Batched fault-scenario evaluation: one base graph, many fault sets.
+
+The paper fixes a base graph and reasons about the family of survivor
+graphs ``G \\ F`` — and so does every benchmark and application layer in
+this library.  This package makes that workload shape a first-class
+citizen:
+
+* :mod:`repro.scenarios.enumerate` — deterministic scenario streams
+  (all single faults, exhaustive ``|F| <= f`` subsets, seeded random
+  samples, adversarial tree-edge faults);
+* :mod:`repro.scenarios.engine` — :class:`~repro.scenarios.engine.ScenarioEngine`,
+  which amortises shared state (CSR snapshot, base BFS vectors,
+  selected trees and their subtree-interval indices) across the stream
+  and evaluates replacement-path / restoration / preserver queries per
+  scenario over flat arrays, optionally across a process pool.
+
+Quick start (see ``examples/batch_scenarios.py`` for a full tour)::
+
+    from repro.graphs import generators
+    from repro.scenarios import ScenarioEngine, single_edge_faults
+
+    graph = generators.torus(8, 8)
+    engine = ScenarioEngine(graph)
+    scenarios = list(single_edge_faults(graph))
+    dists = engine.replacement_distances(0, 27, scenarios)
+
+``benchmarks/bench_scenario_engine.py`` measures the engine against the
+naive per-:class:`~repro.graphs.views.FaultView` loop it replaces.
+"""
+
+from repro.scenarios.engine import (
+    ScenarioEngine,
+    ScenarioResult,
+    TreeFaultIndex,
+)
+from repro.scenarios.enumerate import (
+    FaultSet,
+    all_fault_subsets,
+    random_fault_sets,
+    single_edge_faults,
+    tree_edge_faults,
+)
+
+__all__ = [
+    "ScenarioEngine",
+    "ScenarioResult",
+    "TreeFaultIndex",
+    "FaultSet",
+    "all_fault_subsets",
+    "random_fault_sets",
+    "single_edge_faults",
+    "tree_edge_faults",
+]

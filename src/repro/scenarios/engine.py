@@ -1,0 +1,463 @@
+"""The batched fault-scenario engine.
+
+One base graph, many fault sets — the paper's methodology and the
+library's dominant workload.  :class:`ScenarioEngine` serves it by
+amortising everything that does not depend on the individual scenario:
+
+* the CSR snapshot of the base graph (built once, shared by every
+  scenario's O(|F|) arc-masked view);
+* base BFS distance vectors per queried source/target;
+* selected shortest-path trees (cached by the scheme) and their
+  :class:`TreeFaultIndex` subtree intervals, which turn
+  ``tree_fault_free_vertices`` from a per-scenario tree walk into an
+  interval complement;
+* a *touch filter* for pair queries: a fault set that contains no edge
+  of any shortest ``s ~> t`` path cannot change ``dist(s, t)``, and
+  membership is O(1) per fault edge against the two base distance
+  vectors — so the common "fault missed me" scenario costs O(|F|)
+  instead of a BFS.
+
+Per-scenario work then runs over flat arrays (see
+:mod:`repro.spt.fastpaths`), optionally fanned out across a
+``multiprocessing`` pool for embarrassingly parallel scenario streams.
+
+Example
+-------
+>>> from repro.graphs import generators
+>>> from repro.scenarios import ScenarioEngine, single_edge_faults
+>>> g = generators.grid(4, 4)
+>>> engine = ScenarioEngine(g)
+>>> scenarios = list(single_edge_faults(g))
+>>> dists = engine.replacement_distances(0, 15, scenarios)
+>>> len(dists) == g.m and min(dists) >= 6
+True
+"""
+
+from __future__ import annotations
+
+import pickle
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.exceptions import GraphError
+from repro.graphs.base import Edge, Graph, canonical_edge
+from repro.graphs.csr import CSRFaultView, CSRGraph
+from repro.scenarios.enumerate import FaultSet, _canonical
+from repro.spt.bfs import UNREACHABLE
+from repro.spt.fastpaths import (
+    csr_bfs_distances,
+    csr_hop_distance,
+)
+
+__all__ = ["ScenarioEngine", "ScenarioResult", "TreeFaultIndex"]
+
+
+@contextmanager
+def _scratch_masked(csr: CSRGraph, scratch: bytearray,
+                    faults: Iterable[Edge]):
+    """Zero the <= 2|F| fault-arc positions of ``scratch``, then restore.
+
+    The per-scenario cost is O(|F|) against a long-lived buffer, versus
+    the O(m) fresh-bytearray copy a :class:`CSRFaultView` would pay.
+    The yielded mask is shared state: it must not outlive the block.
+    """
+    positions: List[int] = []
+    for u, v in faults:
+        pos = csr.arc_positions(u, v)
+        if pos is not None:
+            positions.extend(pos)
+    for p in positions:
+        scratch[p] = 0
+    try:
+        yield scratch
+    finally:
+        for p in positions:
+            scratch[p] = 1
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One scenario's outcome: its index in the stream, ``F``, a value."""
+
+    index: int
+    faults: FaultSet
+    value: Any
+
+
+class TreeFaultIndex:
+    """Subtree intervals of a shortest-path tree, for O(|F|) fault cuts.
+
+    A vertex's selected root-path avoids a fault set ``F`` iff the
+    vertex lies below no faulted *tree* edge.  Precomputing an Euler
+    tour (entry/exit positions per vertex) makes "below a faulted
+    edge" an interval membership, so the fault-free vertex set of a
+    scenario is the complement of at most ``|F|`` disjoint intervals —
+    no per-vertex ``canonical_edge`` hashing, no re-walk of the tree.
+
+    Produces exactly the same sets as
+    :func:`repro.core.restoration.tree_fault_free_vertices`.
+    """
+
+    __slots__ = ("tree", "_tour", "_enter", "_exit", "_edge_child", "_all")
+
+    def __init__(self, tree):
+        self.tree = tree
+        children: Dict[int, List[int]] = {}
+        for v in tree.vertices_by_hop():
+            p = tree.parent(v)
+            if p is not None:
+                children.setdefault(p, []).append(v)
+        tour: List[int] = []
+        enter: Dict[int, int] = {}
+        exit_: Dict[int, int] = {}
+        stack: List[Tuple[int, bool]] = [(tree.root, False)]
+        while stack:
+            v, done = stack.pop()
+            if done:
+                exit_[v] = len(tour)
+                continue
+            enter[v] = len(tour)
+            tour.append(v)
+            stack.append((v, True))
+            for c in reversed(children.get(v, ())):
+                stack.append((c, False))
+        self._tour = tour
+        self._enter = enter
+        self._exit = exit_
+        self._edge_child = {
+            canonical_edge(v, p): v
+            for v, p in ((v, tree.parent(v)) for v in enter)
+            if p is not None
+        }
+        self._all: Optional[frozenset] = None
+
+    def fault_free_vertices(self, faults: Iterable[Edge]) -> Set[int]:
+        """Vertices whose selected root-path avoids every fault edge."""
+        cut: List[Tuple[int, int]] = []
+        for u, v in faults:
+            child = self._edge_child.get(canonical_edge(u, v))
+            if child is not None:
+                cut.append((self._enter[child], self._exit[child]))
+        if not cut:
+            if self._all is None:
+                self._all = frozenset(self._tour)
+            return set(self._all)
+        cut.sort()
+        good: List[int] = []
+        pos = 0
+        for lo, hi in cut:
+            if lo < pos:  # nested under an already-cut subtree
+                pos = max(pos, hi)
+                continue
+            good.extend(self._tour[pos:lo])
+            pos = hi
+        good.extend(self._tour[pos:])
+        return set(good)
+
+
+class ScenarioEngine:
+    """Batch evaluator for many fault scenarios over one base graph.
+
+    Parameters
+    ----------
+    graph:
+        The base :class:`~repro.graphs.base.Graph` (or any ``GraphLike``
+        that a CSR snapshot can be built from).  Assumed frozen for the
+        engine's lifetime, per the library-wide scenario convention.
+
+    Notes
+    -----
+    All batch methods accept any iterable of fault sets (tuples, lists,
+    or frozensets of edges in either orientation) and return results
+    aligned with the input order.
+    """
+
+    def __init__(self, graph):
+        self.graph = graph
+        self.csr: CSRGraph = (
+            graph.csr() if isinstance(graph, Graph)
+            else CSRGraph.from_graph(graph)
+        )
+        self._base_dist: Dict[int, List[int]] = {}
+        self._tree_index: Dict[int, TreeFaultIndex] = {}
+        # Reusable arc mask: zeroed at <= 2|F| positions per scenario
+        # and restored afterwards, so per-scenario masking really is
+        # O(|F|) (a fresh CSRFaultView would pay an O(m) buffer copy).
+        self._scratch_mask = bytearray(b"\x01") * len(self.csr.indices)
+        self._mask_busy = False
+
+    @contextmanager
+    def _masked(self, faults: Iterable[Edge]):
+        """The shared scratch mask with ``faults`` zeroed, then restored.
+
+        Re-entrant: if the scratch buffer is already loaned out (e.g.
+        an evaluator passed to :meth:`run` calls back into an engine
+        query while holding its scenario view), the nested use gets a
+        private freshly-allocated mask instead, so the outer view stays
+        valid and the inner query sees only its own fault set.
+        """
+        if self._mask_busy:
+            yield self.csr.without(faults)._as_csr()[1]
+            return
+        self._mask_busy = True
+        try:
+            with _scratch_masked(self.csr, self._scratch_mask,
+                                 faults) as mask:
+                yield mask
+        finally:
+            self._mask_busy = False
+
+    # ------------------------------------------------------------------
+    # amortised base state
+    # ------------------------------------------------------------------
+    def base_distances(self, source: int) -> List[int]:
+        """Fault-free BFS distances from ``source`` (computed once)."""
+        cached = self._base_dist.get(source)
+        if cached is None:
+            cached = csr_bfs_distances(self.csr, None, source)
+            self._base_dist[source] = cached
+        return cached
+
+    def tree_index(self, tree) -> TreeFaultIndex:
+        """The cached :class:`TreeFaultIndex` for a (scheme-cached) tree."""
+        # Keyed by identity: schemes cache their trees, and the index
+        # holds a strong reference, so the id stays valid while cached.
+        cached = self._tree_index.get(id(tree))
+        if cached is None or cached.tree is not tree:
+            cached = TreeFaultIndex(tree)
+            self._tree_index[id(tree)] = cached
+        return cached
+
+    def view(self, faults: Iterable[Edge]):
+        """The O(|F|) arc-masked CSR view of ``G \\ F``."""
+        return self.csr.without(faults)
+
+    # ------------------------------------------------------------------
+    # replacement-path queries
+    # ------------------------------------------------------------------
+    def faults_touch_pair(self, s: int, t: int,
+                          faults: Iterable[Edge]) -> bool:
+        """Could ``faults`` change ``dist(s, t)``?  O(|F|), no false negatives.
+
+        An edge lies on some shortest ``s ~> t`` path iff one of its
+        orientations satisfies ``d_s(u) + 1 + d_t(v) == d_s(t)``; a
+        fault set touching no such edge leaves the distance unchanged.
+        (Edges absent from the graph may pass the arithmetic test —
+        that only costs a redundant BFS, never a wrong answer.)
+        """
+        if not self.csr.has_vertex(t):
+            raise GraphError(f"unknown target vertex {t}")
+        dist_s = self.base_distances(s)
+        dist_t = self.base_distances(t)
+        base = dist_s[t]
+        if base == UNREACHABLE:
+            return False
+        n = self.csr.n
+        for u, v in faults:
+            if not (0 <= u < n and 0 <= v < n):
+                continue  # absent edges are tolerated, like without()
+            du, dv = dist_s[u], dist_s[v]
+            tu, tv = dist_t[u], dist_t[v]
+            if du != UNREACHABLE and tv != UNREACHABLE and du + 1 + tv == base:
+                return True
+            if dv != UNREACHABLE and tu != UNREACHABLE and dv + 1 + tu == base:
+                return True
+        return False
+
+    def pair_replacement_distance(self, s: int, t: int,
+                                  faults: Iterable[Edge]) -> int:
+        """``dist_{G \\ F}(s, t)``, skipping BFS when ``F`` misses the pair."""
+        if not self.csr.has_vertex(t):
+            raise GraphError(f"unknown target vertex {t}")
+        fault_list = list(faults)
+        base = self.base_distances(s)[t]
+        if not self.faults_touch_pair(s, t, fault_list):
+            return base
+        with self._masked(fault_list) as mask:
+            return csr_hop_distance(self.csr, mask, s, t)
+
+    def replacement_distances(self, s: int, t: int,
+                              scenarios: Iterable[Iterable[Edge]]
+                              ) -> List[int]:
+        """Batch ``dist_{G \\ F}(s, t)`` for a stream of fault sets."""
+        return [
+            self.pair_replacement_distance(s, t, faults)
+            for faults in scenarios
+        ]
+
+    def distance_vectors(self, source: int,
+                         scenarios: Iterable[Iterable[Edge]]
+                         ) -> List[List[int]]:
+        """Full per-scenario distance vectors from ``source``."""
+        out = []
+        for faults in scenarios:
+            with self._masked(faults) as mask:
+                out.append(csr_bfs_distances(self.csr, mask, source))
+        return out
+
+    def connectivity(self, scenarios: Iterable[Iterable[Edge]]
+                     ) -> List[bool]:
+        """Per-scenario "does ``G \\ F`` stay connected?"."""
+        n = self.csr.n
+        out = []
+        for faults in scenarios:
+            if n == 0:
+                out.append(True)
+                continue
+            with self._masked(faults) as mask:
+                dist = csr_bfs_distances(self.csr, mask, 0)
+            out.append(UNREACHABLE not in dist)
+        return out
+
+    # ------------------------------------------------------------------
+    # restoration queries
+    # ------------------------------------------------------------------
+    def midpoint_scan(self, scheme, s: int, t: int,
+                      faults: Iterable[Edge],
+                      subset: Iterable[Edge] = ()):
+        """Batched-state variant of
+        :func:`repro.core.restoration.midpoint_scan`.
+
+        Delegates to the core scan (one implementation, identical
+        results) but injects the engine's cached
+        :class:`TreeFaultIndex` lookup as the fault-free-vertices
+        provider, so consecutive scenarios against the same pair share
+        all tree work.
+        """
+        from repro.core.restoration import midpoint_scan
+
+        return midpoint_scan(
+            scheme, s, t, faults, subset,
+            fault_free=lambda tree, remaining:
+                self.tree_index(tree).fault_free_vertices(remaining),
+        )
+
+    def restoration_sweep(self, scheme, instances) -> List[ScenarioResult]:
+        """Batch Figure-1 style instances ``(s, t, e)``.
+
+        For each instance the value is ``(target, result)`` — the true
+        replacement distance and the naive (``F' = ∅``) midpoint-scan
+        outcome, or ``None`` when the fault disconnects the pair.
+        """
+        out = []
+        for i, (s, t, e) in enumerate(instances):
+            target = self.pair_replacement_distance(s, t, (e,))
+            if target == UNREACHABLE:
+                out.append(ScenarioResult(i, _canonical([e]), None))
+                continue
+            result = self.midpoint_scan(scheme, s, t, [e])
+            out.append(ScenarioResult(i, _canonical([e]), (target, result)))
+        return out
+
+    # ------------------------------------------------------------------
+    # preserver queries
+    # ------------------------------------------------------------------
+    def preserver_violations(self, preserver_edges: Iterable[Edge],
+                             sources: Iterable[int],
+                             scenarios: Iterable[Iterable[Edge]],
+                             targets: Optional[Iterable[int]] = None
+                             ) -> List[Tuple]:
+        """Batched Definition-4 check of ``H ⊆ G`` over a scenario stream.
+
+        Same output shape as
+        :func:`repro.preservers.verification.preserver_violations`:
+        ``(faults, s, t, dist_G, dist_H)`` tuples, empty when ``H``
+        preserves every queried distance in every scenario.  Both
+        ``G \\ F`` and ``H \\ F`` run on CSR snapshots built once.
+        """
+        source_list = sorted(set(sources))
+        target_list = (
+            sorted(set(targets)) if targets is not None else source_list
+        )
+        sub = Graph(self.csr.n)
+        for u, v in preserver_edges:
+            sub.add_edge(u, v)
+        sub_csr = sub.csr()
+        sub_scratch = bytearray(b"\x01") * len(sub_csr.indices)
+        bad: List[Tuple] = []
+        for faults in scenarios:
+            faults = _canonical(faults)
+            with self._masked(faults) as g_mask, \
+                    _scratch_masked(sub_csr, sub_scratch, faults) as h_mask:
+                for s in source_list:
+                    dist_g = csr_bfs_distances(self.csr, g_mask, s)
+                    dist_h = csr_bfs_distances(sub_csr, h_mask, s)
+                    for t in target_list:
+                        if t != s and dist_g[t] != dist_h[t]:
+                            bad.append((faults, s, t, dist_g[t], dist_h[t]))
+        return bad
+
+    # ------------------------------------------------------------------
+    # generic batched evaluation (optionally multiprocess)
+    # ------------------------------------------------------------------
+    def run(self, evaluator: Callable, scenarios: Iterable[Iterable[Edge]],
+            processes: int = 0, chunksize: Optional[int] = None
+            ) -> List[ScenarioResult]:
+        """Apply ``evaluator(view, faults)`` to every scenario.
+
+        ``view`` is the masked CSR view of ``G \\ F``; on the serial
+        path it aliases the engine's scratch mask, so it is only valid
+        for the duration of the evaluator call — evaluators must not
+        stash views for later.  With ``processes > 1`` the scenario
+        stream fans out over a ``multiprocessing`` pool (the evaluator
+        must then be a picklable top-level callable); any pool setup
+        failure falls back to the serial path, so results are always
+        produced.
+        """
+        fault_sets = [_canonical(f) for f in scenarios]
+        if processes > 1 and fault_sets:
+            try:
+                pool = _make_pool(self.graph, evaluator, processes)
+            except (ImportError, OSError, AttributeError, TypeError,
+                    pickle.PicklingError):
+                # No usable pool here (or the evaluator/graph does not
+                # pickle under spawn); serial fallback below.
+                pool = None
+            if pool is not None:
+                # Evaluator exceptions raised inside the pool propagate:
+                # a buggy evaluator must fail loudly, not trigger a
+                # silent serial re-run of the whole stream.
+                if chunksize is None:
+                    chunksize = max(1, len(fault_sets) // (processes * 4))
+                with pool:
+                    values = pool.map(_pool_eval, fault_sets, chunksize)
+                return [
+                    ScenarioResult(i, f, v)
+                    for i, (f, v) in enumerate(zip(fault_sets, values))
+                ]
+        out = []
+        for i, f in enumerate(fault_sets):
+            with self._masked(f) as mask:
+                view = CSRFaultView._adopt(self.csr, frozenset(f), mask)
+                out.append(ScenarioResult(i, f, evaluator(view, f)))
+        return out
+
+
+# ----------------------------------------------------------------------
+# multiprocessing plumbing (top-level, so it pickles under spawn)
+# ----------------------------------------------------------------------
+_WORKER_CSR: Optional[CSRGraph] = None
+_WORKER_FN: Optional[Callable] = None
+
+
+def _pool_init(graph, evaluator) -> None:
+    global _WORKER_CSR, _WORKER_FN
+    _WORKER_CSR = (
+        graph.csr() if isinstance(graph, Graph)
+        else CSRGraph.from_graph(graph)
+    )
+    _WORKER_FN = evaluator
+
+
+def _pool_eval(faults: FaultSet):
+    return _WORKER_FN(_WORKER_CSR.without(faults), faults)
+
+
+def _make_pool(graph, evaluator, processes: int):
+    """Create the worker pool (pickling/setup errors raise here)."""
+    import multiprocessing
+
+    return multiprocessing.Pool(
+        processes, initializer=_pool_init, initargs=(graph, evaluator)
+    )

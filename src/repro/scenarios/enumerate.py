@@ -1,0 +1,97 @@
+"""Fault-scenario generators: streams of fault sets against one graph.
+
+A *scenario* is just a canonical tuple of fault edges ``F`` examined
+against a fixed base graph — the unit of work of the paper's whole
+methodology and of :class:`repro.scenarios.engine.ScenarioEngine`.
+This module supplies the standard scenario universes:
+
+* :func:`single_edge_faults` — every ``|F| = 1`` scenario (the f = 1
+  regime of Theorems 1/2 and Figure 1);
+* :func:`all_fault_subsets` — exhaustive ``|F| <= f`` enumeration, the
+  ground-truth universe the verification suite sweeps;
+* :func:`random_fault_sets` — seeded i.i.d. samples for large graphs
+  where exhaustive enumeration is hopeless;
+* :func:`tree_edge_faults` — the adversarial universe: faults restricted
+  to the edges of a selected shortest-path tree, which are exactly the
+  faults that *must* reroute traffic from that tree's root.
+
+All generators yield sorted canonical tuples, deterministically, so a
+scenario stream is reproducible and safe to ship across a process pool.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.exceptions import GraphError
+from repro.graphs.base import Edge, canonical_edge
+
+FaultSet = Tuple[Edge, ...]
+
+
+def _canonical(faults: Iterable[Edge]) -> FaultSet:
+    return tuple(sorted({canonical_edge(u, v) for u, v in faults}))
+
+
+def single_edge_faults(graph) -> Iterator[FaultSet]:
+    """Every single-edge fault scenario, in lexicographic edge order.
+
+    >>> from repro.graphs.generators import cycle
+    >>> list(single_edge_faults(cycle(3)))
+    [((0, 1),), ((0, 2),), ((1, 2),)]
+    """
+    for edge in sorted(graph.edges()):
+        yield (edge,)
+
+
+def all_fault_subsets(graph, f: int,
+                      include_smaller: bool = False) -> Iterator[FaultSet]:
+    """All fault sets of size exactly ``f`` (or ``<= f``), lexicographic.
+
+    Mirrors the enumeration order of the brute-force verifiers, so
+    batched results line up index-for-index with exhaustive sweeps.
+    The empty scenario is included only in ``include_smaller`` mode.
+    """
+    if f < 0:
+        raise GraphError(f"fault budget must be >= 0, got {f}")
+    edges = sorted(graph.edges())
+    sizes = range(f + 1) if include_smaller else (f,)
+    for size in sizes:
+        yield from itertools.combinations(edges, size)
+
+
+def random_fault_sets(graph, f: int, count: int,
+                      seed: int = 0) -> List[FaultSet]:
+    """``count`` seeded uniform random fault sets, each of size exactly
+    ``min(f, graph.m)``.
+
+    Every draw samples that many *distinct* edges; duplicates across
+    draws are allowed — they are legitimate repeated scenarios in a
+    traffic mix.
+    """
+    if f < 0:
+        raise GraphError(f"fault budget must be >= 0, got {f}")
+    if count < 0:
+        raise GraphError(f"count must be >= 0, got {count}")
+    edges = sorted(graph.edges())
+    rng = random.Random(seed)
+    size = min(f, len(edges))
+    return [
+        _canonical(rng.sample(edges, size)) for _ in range(count)
+    ]
+
+
+def tree_edge_faults(tree, f: int = 1) -> Iterator[FaultSet]:
+    """Adversarial scenarios: size-``f`` fault sets of selected tree edges.
+
+    ``tree`` is a :class:`repro.spt.trees.ShortestPathTree`; each of its
+    edges carries selected shortest paths, so faulting them is the
+    worst case for the tree's root — every scenario here forces a
+    reroute, unlike a random edge which usually misses all selected
+    paths.
+    """
+    if f < 0:
+        raise GraphError(f"fault budget must be >= 0, got {f}")
+    yield from itertools.combinations(sorted(tree.edges()), f)

@@ -11,6 +11,10 @@ This package supplies everything the tiebreaking layer builds on:
 * :class:`~repro.spt.trees.ShortestPathTree` — parent-pointer trees with
   path extraction, the object routing tables are derived from.
 * :mod:`~repro.spt.apsp` — all-pairs wrappers, diameter, eccentricity.
+* :mod:`~repro.spt.fastpaths` — array BFS/Dijkstra kernels over CSR
+  snapshots (:mod:`repro.graphs.csr`); the entry points above dispatch
+  to them automatically for CSR inputs and keep the generic
+  ``GraphLike`` loops as the reference implementation.
 """
 
 from repro.spt.paths import Path

@@ -53,6 +53,7 @@ def replacement_distance(graph, source: int, target: int, faults) -> int:
     library is validated against.  Returns ``UNREACHABLE`` (-1) when the
     faults disconnect the pair.
     """
+    from repro.graphs.csr import fast_without
     from repro.spt.bfs import hop_distance
 
-    return hop_distance(graph.without(faults), source, target)
+    return hop_distance(fast_without(graph, faults), source, target)

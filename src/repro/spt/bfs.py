@@ -13,12 +13,17 @@ from collections import deque
 from typing import Dict, List, Optional
 
 from repro.exceptions import GraphError
+from repro.graphs.csr import as_csr
+from repro.spt import fastpaths
 
 UNREACHABLE = -1
 
 
 def bfs_distances(graph, source: int) -> List[int]:
     """Hop distances from ``source``; ``UNREACHABLE`` (-1) where cut off."""
+    csr = as_csr(graph)
+    if csr is not None:
+        return fastpaths.csr_bfs_distances(csr[0], csr[1], source)
     if not graph.has_vertex(source):
         raise GraphError(f"unknown source vertex {source}")
     dist = [UNREACHABLE] * graph.n
@@ -39,6 +44,9 @@ def bfs_tree(graph, source: int) -> Dict[int, Optional[int]]:
     Returns ``{vertex: parent}`` with ``parent[source] is None``;
     unreachable vertices are absent from the map.
     """
+    csr = as_csr(graph)
+    if csr is not None:
+        return fastpaths.csr_bfs_tree(csr[0], csr[1], source)
     if not graph.has_vertex(source):
         raise GraphError(f"unknown source vertex {source}")
     parent: Dict[int, Optional[int]] = {source: None}
@@ -71,6 +79,11 @@ def hop_distance(graph, source: int, target: int) -> int:
     Early-exits once ``target`` is settled, so cheaper than a full
     :func:`bfs_distances` for nearby pairs.
     """
+    csr = as_csr(graph)
+    if csr is not None:
+        return fastpaths.csr_hop_distance(csr[0], csr[1], source, target)
+    if not graph.has_vertex(source):
+        raise GraphError(f"unknown source vertex {source}")
     if not graph.has_vertex(target):
         raise GraphError(f"unknown target vertex {target}")
     if source == target:

@@ -14,6 +14,8 @@ import heapq
 from typing import Callable, Dict, Iterable, Optional
 
 from repro.exceptions import GraphError
+from repro.graphs.csr import as_csr
+from repro.spt import fastpaths
 
 WeightFn = Callable[[int, int], int]
 
@@ -43,6 +45,10 @@ def dijkstra(graph, source: int, weight: WeightFn,
         path (``parent[source] is None``).  Unreached vertices appear
         in neither map.
     """
+    csr = as_csr(graph)
+    if csr is not None:
+        return fastpaths.csr_dijkstra(csr[0], csr[1], source, weight,
+                                      targets=targets)
     if not graph.has_vertex(source):
         raise GraphError(f"unknown source vertex {source}")
     remaining = set(targets) if targets is not None else None

@@ -1,0 +1,187 @@
+"""Array-based BFS/Dijkstra inner loops over CSR snapshots.
+
+These are the traversal kernels behind the batched fault-scenario
+engine: the public entry points in :mod:`repro.spt.bfs` and
+:mod:`repro.spt.dijkstra` dispatch here whenever the input graph
+exposes a CSR fast path (see :func:`repro.graphs.csr.as_csr`), and fall
+back to the generic ``GraphLike`` reference loops otherwise.
+
+Correctness contract, enforced by the randomized cross-check tests:
+
+* ``bfs_distances`` / ``hop_distance`` / ``bfs_layers`` — identical
+  output to the reference for every graph and fault set (hop distances
+  are independent of traversal order).
+* ``bfs_tree`` — identical parent maps: CSR rows are stored sorted, so
+  the level-synchronous loop below discovers vertices in exactly the
+  FIFO + ``sorted_neighbors`` order of the reference.
+* ``dijkstra`` — identical distance maps always; identical parent maps
+  whenever the weight function yields unique shortest paths (the only
+  regime the tiebreaking layer uses).  Under non-unique weights the
+  parent choice may legitimately differ, as it already does between
+  ``Graph`` and ``FaultView`` traversal orders.
+
+All loops index plain Python lists of machine ints; the arc mask (a
+``bytearray`` with one flag per directed arc) is consulted inline, so a
+fault scenario costs O(|F|) setup and zero per-arc canonicalisation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import GraphError
+from repro.graphs.csr import CSRGraph
+
+UNREACHABLE = -1
+
+
+def _check_source(csr: CSRGraph, source: int, role: str = "source") -> None:
+    if not csr.has_vertex(source):
+        raise GraphError(f"unknown {role} vertex {source}")
+
+
+def csr_bfs_distances(csr: CSRGraph, mask: Optional[bytearray],
+                      source: int) -> List[int]:
+    """Hop distances from ``source`` over a (possibly masked) snapshot."""
+    _check_source(csr, source)
+    indptr, indices = csr.indptr, csr.indices
+    dist = [UNREACHABLE] * csr.n
+    dist[source] = 0
+    frontier = [source]
+    depth = 0
+    if mask is None:
+        while frontier:
+            depth += 1
+            nxt = []
+            for u in frontier:
+                for v in indices[indptr[u]:indptr[u + 1]]:
+                    if dist[v] < 0:
+                        dist[v] = depth
+                        nxt.append(v)
+            frontier = nxt
+    else:
+        while frontier:
+            depth += 1
+            nxt = []
+            for u in frontier:
+                lo, hi = indptr[u], indptr[u + 1]
+                for v, ok in zip(indices[lo:hi], mask[lo:hi]):
+                    if ok and dist[v] < 0:
+                        dist[v] = depth
+                        nxt.append(v)
+            frontier = nxt
+    return dist
+
+
+def csr_bfs_tree(csr: CSRGraph, mask: Optional[bytearray],
+                 source: int) -> Dict[int, Optional[int]]:
+    """Deterministic BFS parent map (smallest-id parent wins).
+
+    CSR rows are sorted, and the level-synchronous expansion below
+    visits frontier vertices in discovery order — exactly the FIFO
+    queue order of the reference ``bfs_tree`` — so parent assignments
+    match it vertex for vertex.
+    """
+    _check_source(csr, source)
+    indptr, indices = csr.indptr, csr.indices
+    seen = [False] * csr.n
+    seen[source] = True
+    parent: Dict[int, Optional[int]] = {source: None}
+    frontier = [source]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            lo, hi = indptr[u], indptr[u + 1]
+            row = indices[lo:hi] if mask is None else [
+                v for v, ok in zip(indices[lo:hi], mask[lo:hi]) if ok
+            ]
+            for v in row:
+                if not seen[v]:
+                    seen[v] = True
+                    parent[v] = u
+                    nxt.append(v)
+        frontier = nxt
+    return parent
+
+
+def csr_hop_distance(csr: CSRGraph, mask: Optional[bytearray],
+                     source: int, target: int) -> int:
+    """Early-exit pairwise hop distance (``UNREACHABLE`` if cut off)."""
+    _check_source(csr, source)
+    _check_source(csr, target, role="target")
+    if source == target:
+        return 0
+    indptr, indices = csr.indptr, csr.indices
+    dist = [UNREACHABLE] * csr.n
+    dist[source] = 0
+    frontier = [source]
+    depth = 0
+    while frontier:
+        depth += 1
+        nxt = []
+        for u in frontier:
+            lo, hi = indptr[u], indptr[u + 1]
+            row = indices[lo:hi] if mask is None else (
+                v for v, ok in zip(indices[lo:hi], mask[lo:hi]) if ok
+            )
+            for v in row:
+                if dist[v] < 0:
+                    if v == target:
+                        return depth
+                    dist[v] = depth
+                    nxt.append(v)
+        frontier = nxt
+    return UNREACHABLE
+
+
+def csr_dijkstra(csr: CSRGraph, mask: Optional[bytearray], source: int,
+                 weight, targets=None
+                 ) -> Tuple[Dict[int, int], Dict[int, Optional[int]]]:
+    """Single-source Dijkstra over a (possibly masked) snapshot.
+
+    Same semantics and return shape as the reference
+    :func:`repro.spt.dijkstra.dijkstra`; only the adjacency scan
+    differs (flat arrays + inline mask test instead of per-arc
+    canonicalisation).
+    """
+    _check_source(csr, source)
+    indptr, indices = csr.indptr, csr.indices
+    remaining = set(targets) if targets is not None else None
+    settled = [False] * csr.n
+    dist: Dict[int, int] = {}
+    parent: Dict[int, Optional[int]] = {}
+    tentative: List[Optional[int]] = [None] * csr.n
+    tentative_parent: List[Optional[int]] = [None] * csr.n
+    tentative[source] = 0
+    heap = [(0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if settled[u]:
+            continue
+        settled[u] = True
+        dist[u] = d
+        parent[u] = tentative_parent[u]
+        if remaining is not None:
+            remaining.discard(u)
+            if not remaining:
+                break
+        lo, hi = indptr[u], indptr[u + 1]
+        row = indices[lo:hi] if mask is None else (
+            v for v, ok in zip(indices[lo:hi], mask[lo:hi]) if ok
+        )
+        for v in row:
+            if settled[v]:
+                continue
+            w = weight(u, v)
+            if w <= 0:
+                raise GraphError(
+                    f"non-positive arc weight {w} on ({u}, {v})"
+                )
+            candidate = d + w
+            known = tentative[v]
+            if known is None or candidate < known:
+                tentative[v] = candidate
+                tentative_parent[v] = u
+                heapq.heappush(heap, (candidate, v))
+    return dist, parent

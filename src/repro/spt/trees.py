@@ -26,7 +26,7 @@ class ShortestPathTree:
     (Section 2, first bullet under "Consistency").
     """
 
-    __slots__ = ("_root", "_parent", "_dist", "_hops", "_scale")
+    __slots__ = ("_root", "_parent", "_dist", "_hops", "_scale", "_order")
 
     def __init__(self, root: int, parent: Dict[int, Optional[int]],
                  dist: Dict[int, int], scale: int = 1):
@@ -41,6 +41,7 @@ class ShortestPathTree:
         self._hops = {
             v: (d + scale // 2) // scale for v, d in self._dist.items()
         }
+        self._order = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -65,6 +66,20 @@ class ShortestPathTree:
 
     def reached_vertices(self):
         return self._parent.keys()
+
+    def vertices_by_hop(self):
+        """Reached vertices sorted by hop distance (cached tuple).
+
+        Trees are immutable once built, so the root-to-leaf processing
+        order consumed by scan-style algorithms (e.g.
+        :func:`repro.core.restoration.tree_fault_free_vertices`) is
+        computed once per tree instead of re-sorted on every fault set.
+        """
+        if self._order is None:
+            self._order = tuple(
+                sorted(self._parent, key=self._hops.__getitem__)
+            )
+        return self._order
 
     def parent(self, v: int) -> Optional[int]:
         if v not in self._parent:

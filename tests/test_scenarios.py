@@ -1,0 +1,267 @@
+"""Scenario enumerators and the batched ScenarioEngine."""
+
+import itertools
+
+import pytest
+
+from repro.core.restoration import midpoint_scan, tree_fault_free_vertices
+from repro.core.scheme import BFSTiebreaking, RestorableTiebreaking
+from repro.exceptions import GraphError
+from repro.graphs import generators
+from repro.graphs.base import Graph
+from repro.preservers.verification import preserver_violations
+from repro.scenarios import (
+    ScenarioEngine,
+    ScenarioResult,
+    TreeFaultIndex,
+    all_fault_subsets,
+    random_fault_sets,
+    single_edge_faults,
+    tree_edge_faults,
+)
+from repro.spt.bfs import UNREACHABLE, bfs_distances
+
+
+@pytest.fixture(scope="module")
+def torus():
+    return generators.torus(5, 5)
+
+
+@pytest.fixture(scope="module")
+def sparse():
+    return generators.connected_erdos_renyi(60, 2.5 / 60, seed=9)
+
+
+# ----------------------------------------------------------------------
+# enumerators
+# ----------------------------------------------------------------------
+class TestEnumerators:
+    def test_single_edge_faults(self, torus):
+        scenarios = list(single_edge_faults(torus))
+        assert len(scenarios) == torus.m
+        assert all(len(f) == 1 for f in scenarios)
+        assert scenarios == sorted(scenarios)
+
+    def test_all_fault_subsets_exact_size(self, torus):
+        f2 = list(all_fault_subsets(torus, 2))
+        assert len(f2) == torus.m * (torus.m - 1) // 2
+        assert all(len(f) == 2 for f in f2)
+
+    def test_all_fault_subsets_include_smaller(self):
+        g = generators.cycle(4)
+        fs = list(all_fault_subsets(g, 2, include_smaller=True))
+        assert fs[0] == ()  # empty scenario first
+        assert len(fs) == 1 + 4 + 6
+
+    def test_all_fault_subsets_negative_budget(self, torus):
+        with pytest.raises(GraphError):
+            list(all_fault_subsets(torus, -1))
+
+    def test_random_fault_sets_deterministic(self, torus):
+        a = random_fault_sets(torus, 2, 20, seed=4)
+        b = random_fault_sets(torus, 2, 20, seed=4)
+        c = random_fault_sets(torus, 2, 20, seed=5)
+        assert a == b
+        assert a != c
+        assert len(a) == 20
+        edge_set = set(torus.edges())
+        for fs in a:
+            assert len(fs) == 2
+            assert set(fs) <= edge_set
+
+    def test_random_fault_sets_budget_clamped(self):
+        g = generators.cycle(3)
+        (fs,) = random_fault_sets(g, 10, 1, seed=0)
+        assert len(fs) == 3  # only 3 edges exist
+
+    def test_tree_edge_faults_are_adversarial(self, torus):
+        scheme = RestorableTiebreaking.build(torus, f=1, seed=2)
+        tree = scheme.tree(0)
+        scenarios = list(tree_edge_faults(tree))
+        assert len(scenarios) == torus.n - 1  # spanning tree edges
+        tree_edges = tree.edge_set()
+        assert all(f[0] in tree_edges for f in scenarios)
+
+
+# ----------------------------------------------------------------------
+# TreeFaultIndex
+# ----------------------------------------------------------------------
+class TestTreeFaultIndex:
+    def test_matches_reference_on_all_faults(self, torus):
+        scheme = RestorableTiebreaking.build(torus, f=1, seed=1)
+        tree = scheme.tree(7)
+        index = TreeFaultIndex(tree)
+        for faults in itertools.chain(single_edge_faults(torus),
+                                      random_fault_sets(torus, 3, 30, 8)):
+            assert (index.fault_free_vertices(faults)
+                    == tree_fault_free_vertices(tree, faults))
+
+    def test_empty_faults_returns_all_reached(self, torus):
+        tree = BFSTiebreaking(torus).tree(0)
+        index = TreeFaultIndex(tree)
+        assert index.fault_free_vertices(()) == set(tree.reached_vertices())
+
+
+# ----------------------------------------------------------------------
+# ScenarioEngine
+# ----------------------------------------------------------------------
+class TestScenarioEngine:
+    def test_replacement_distances_match_naive(self, sparse):
+        engine = ScenarioEngine(sparse)
+        scenarios = list(single_edge_faults(sparse))
+        scenarios += random_fault_sets(sparse, 2, 40, seed=1)
+        s, t = 0, sparse.n - 1
+        fast = engine.replacement_distances(s, t, scenarios)
+        naive = [
+            bfs_distances(sparse.without(f), s)[t] for f in scenarios
+        ]
+        assert fast == naive
+
+    def test_pair_query_validates_vertices(self, torus):
+        engine = ScenarioEngine(torus)
+        for s, t in ((0, -1), (0, torus.n), (-2, 5), (torus.n + 3, 5)):
+            with pytest.raises(GraphError):
+                engine.pair_replacement_distance(s, t, [(0, 1)])
+            with pytest.raises(GraphError):
+                engine.faults_touch_pair(s, t, [(0, 1)])
+
+    def test_out_of_range_fault_edges_tolerated(self, torus):
+        # Fault edges naming unknown vertices behave like absent edges,
+        # matching the without() convention.
+        engine = ScenarioEngine(torus)
+        base = bfs_distances(torus, 0)[12]
+        assert engine.pair_replacement_distance(
+            0, 12, [(0, 999), (-5, 3)]
+        ) == base
+        assert not engine.faults_touch_pair(0, 12, [(0, 999)])
+
+    def test_scratch_mask_restored_between_scenarios(self, torus):
+        engine = ScenarioEngine(torus)
+        scenarios = list(single_edge_faults(torus))
+        expected = [
+            bfs_distances(torus.without(f), 0)[12] for f in scenarios
+        ]
+        # Interleave different query types; a leaked mask bit from any
+        # earlier scenario would corrupt a later answer.
+        for f, want in zip(scenarios, expected):
+            assert engine.pair_replacement_distance(0, 12, f) == want
+            assert engine.connectivity([f])[0] == (
+                torus.without(f).is_connected()
+            )
+        assert all(engine._scratch_mask)  # fully restored
+
+    def test_disconnected_base_pair(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        engine = ScenarioEngine(g)
+        assert engine.pair_replacement_distance(0, 3, [(0, 1)]) == UNREACHABLE
+
+    def test_touch_filter_has_no_false_negatives(self, sparse):
+        engine = ScenarioEngine(sparse)
+        s, t = 0, sparse.n - 1
+        base = bfs_distances(sparse, s)[t]
+        for faults in single_edge_faults(sparse):
+            if not engine.faults_touch_pair(s, t, faults):
+                # untouched scenario => distance provably unchanged
+                assert bfs_distances(sparse.without(faults), s)[t] == base
+
+    def test_connectivity_matches_naive(self, sparse):
+        engine = ScenarioEngine(sparse)
+        scenarios = random_fault_sets(sparse, 2, 60, seed=2)
+        assert engine.connectivity(scenarios) == [
+            sparse.without(f).is_connected() for f in scenarios
+        ]
+
+    def test_distance_vectors_match_naive(self, torus):
+        engine = ScenarioEngine(torus)
+        scenarios = random_fault_sets(torus, 2, 10, seed=3)
+        vectors = engine.distance_vectors(4, scenarios)
+        for faults, vec in zip(scenarios, vectors):
+            assert vec == bfs_distances(torus.without(faults), 4)
+
+    def test_midpoint_scan_matches_core(self, torus):
+        scheme = RestorableTiebreaking.build(torus, f=1, seed=4)
+        engine = ScenarioEngine(torus)
+        for faults in list(single_edge_faults(torus))[:25]:
+            ref = midpoint_scan(scheme, 0, 12, faults)
+            fast = engine.midpoint_scan(scheme, 0, 12, faults)
+            assert ref == fast
+
+    def test_restoration_sweep_restorable_never_fails(self, torus):
+        scheme = RestorableTiebreaking.build(torus, f=1, seed=6)
+        engine = ScenarioEngine(torus)
+        path = scheme.path(0, 12)
+        instances = [(0, 12, e) for e in path.edges()]
+        for item in engine.restoration_sweep(scheme, instances):
+            assert item.value is not None
+            target, result = item.value
+            assert result is not None and result.path.hops == target
+
+    def test_preserver_violations_match_reference(self, torus):
+        # The full graph trivially preserves itself; a spanning tree
+        # of a torus does not.
+        scenarios = list(single_edge_faults(torus))[:15]
+        sources = [0, 7, 13]
+        engine = ScenarioEngine(torus)
+        full = engine.preserver_violations(
+            torus.edges(), sources, scenarios
+        )
+        assert full == []
+        tree = BFSTiebreaking(torus).tree(0)
+        fast = engine.preserver_violations(
+            tree.edges(), sources, scenarios
+        )
+        ref = preserver_violations(
+            torus, tree.edges(), sources, fault_sets=scenarios
+        )
+        assert fast == ref
+        assert fast  # the tree really does lose distances
+
+    def test_run_serial_and_results_aligned(self, torus):
+        engine = ScenarioEngine(torus)
+        scenarios = random_fault_sets(torus, 1, 12, seed=5)
+        results = engine.run(_surviving_edges, scenarios)
+        assert [r.index for r in results] == list(range(12))
+        for r in results:
+            assert isinstance(r, ScenarioResult)
+            assert r.value == torus.m - len(r.faults)
+
+    def test_run_evaluator_may_reenter_engine(self):
+        # An evaluator calling back into the engine must not corrupt
+        # the scenario view it holds (the scratch mask is loaned out),
+        # and the inner query must see only its own fault set.
+        g = Graph(4, [(0, 1), (1, 2), (0, 2), (0, 3), (2, 3)])
+        engine = ScenarioEngine(g)
+
+        def reentrant(view, faults):
+            inner = engine.pair_replacement_distance(0, 1, faults)
+            outer = bfs_distances(view, 0)[1]
+            return (inner, outer)
+
+        (result,) = engine.run(reentrant, [[(0, 1)]])
+        assert result.value == (2, 2)  # both see G \ {(0, 1)}
+        assert all(engine._scratch_mask)
+
+    def test_run_evaluator_exception_propagates_from_pool(self, torus):
+        # A buggy evaluator must fail loudly, not fall back to a
+        # silent serial re-run of the stream.
+        engine = ScenarioEngine(torus)
+        scenarios = random_fault_sets(torus, 1, 4, seed=7)
+        with pytest.raises(TypeError):
+            engine.run(_buggy_evaluator, scenarios, processes=2)
+
+    def test_run_with_process_pool(self, torus):
+        engine = ScenarioEngine(torus)
+        scenarios = random_fault_sets(torus, 1, 8, seed=6)
+        serial = engine.run(_surviving_edges, scenarios)
+        pooled = engine.run(_surviving_edges, scenarios, processes=2)
+        assert [r.value for r in pooled] == [r.value for r in serial]
+
+
+def _surviving_edges(view, faults):
+    """Top-level evaluator so the pool test can pickle it."""
+    return view.m
+
+
+def _buggy_evaluator(view, faults):
+    """Top-level evaluator raising the classic evaluator bug."""
+    return view.m + "oops"  # TypeError
