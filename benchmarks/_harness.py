@@ -7,6 +7,7 @@ numbers recorded in EXPERIMENTS.md are regenerable artifacts.
 
 from __future__ import annotations
 
+import json
 import pathlib
 from typing import Dict, List, Optional, Sequence
 
@@ -27,3 +28,16 @@ def emit(name: str, rows: Sequence[Dict], title: str,
     print()
     print(table)
     return table
+
+
+def emit_json(name: str, payload: Dict) -> pathlib.Path:
+    """Persist one experiment as machine-readable JSON.
+
+    Written next to the ``.txt`` tables under ``benchmarks/results/``,
+    so CI and trend tooling can consume the numbers without parsing
+    the human-facing render.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -27,6 +27,16 @@ randomized cross-check tests exploit.  The BFS/Dijkstra fast paths in
 :mod:`repro.spt` additionally recognise them (via :func:`as_csr`) and
 switch to array-based inner loops.
 
+A snapshot may also carry a flat ``weights`` array aligned with
+``indices`` — one integer per directed *arc*, so antisymmetric weight
+functions (the tiebreaking perturbations of Definition 18, where
+``w(u, v) != w(v, u)``) are representable, not just symmetric edge
+weights.  Weight-carrying snapshots come from
+:meth:`repro.weighted.graph.WeightedGraph.csr` or from
+:meth:`CSRGraph.with_arc_weights`, and unlock the flat Dijkstra kernel
+(:func:`repro.spt.fastpaths.csr_dijkstra_flat`) that reads weights by
+array index instead of calling back into Python per arc.
+
 Snapshots are immutable: they capture the base graph at construction
 time and never observe later mutations.  :meth:`repro.graphs.base.Graph.csr`
 caches one snapshot per ``(n, m)`` state, which is sound because
@@ -67,19 +77,36 @@ class CSRGraph:
     False
     """
 
-    __slots__ = ("_n", "_m", "indptr", "indices", "_arc_pos")
+    __slots__ = ("_n", "_m", "indptr", "indices", "weights", "_arc_pos")
 
     def __init__(self, n: int, indptr: List[int], indices: List[int],
-                 arc_pos: Dict[Edge, Tuple[int, int]]):
+                 arc_pos: Dict[Edge, Tuple[int, int]],
+                 weights: Optional[List[int]] = None):
         self._n = n
         self._m = len(indices) // 2
         self.indptr = indptr
         self.indices = indices
         self._arc_pos = arc_pos
+        if weights is not None:
+            if len(weights) != len(indices):
+                raise GraphError(
+                    f"weights array has {len(weights)} entries for "
+                    f"{len(indices)} arcs"
+                )
+            for w in weights:
+                if w <= 0:
+                    raise GraphError(f"non-positive arc weight {w}")
+        self.weights = weights
 
     @classmethod
-    def from_graph(cls, graph) -> "CSRGraph":
-        """Flatten ``graph`` into a fresh snapshot (one O(n + m) pass)."""
+    def from_graph(cls, graph, arc_weight=None) -> "CSRGraph":
+        """Flatten ``graph`` into a fresh snapshot (one O(n + m) pass).
+
+        When ``arc_weight`` (a ``(u, v) -> int`` callable) is given,
+        the snapshot carries a flat per-arc weights array; positivity
+        is validated here, once, so the weighted kernels can skip the
+        per-arc check.
+        """
         n = graph.n
         indptr = [0] * (n + 1)
         indices: List[int] = []
@@ -97,7 +124,32 @@ class CSRGraph:
         for (u, v), i in pos_of.items():
             if u < v:
                 arc_pos[(u, v)] = (i, pos_of[(v, u)])
-        return cls(n, indptr, indices, arc_pos)
+        weights = None
+        if arc_weight is not None:
+            weights = [
+                arc_weight(u, indices[i])
+                for u in range(n)
+                for i in range(indptr[u], indptr[u + 1])
+            ]
+        return cls(n, indptr, indices, arc_pos, weights)
+
+    def with_arc_weights(self, arc_weight) -> "CSRGraph":
+        """A reweighted snapshot sharing this topology (O(m) weight calls).
+
+        ``indptr``/``indices`` and the arc-position table are shared
+        with ``self`` (all immutable), so only the weights array is
+        fresh.  ``arc_weight`` is evaluated per directed arc, which is
+        what lets antisymmetric tiebreaking perturbations be
+        materialised into a flat array once and then read by index in
+        the Dijkstra inner loop.
+        """
+        weights = [
+            arc_weight(u, self.indices[i])
+            for u in range(self._n)
+            for i in range(self.indptr[u], self.indptr[u + 1])
+        ]
+        return CSRGraph(self._n, self.indptr, self.indices,
+                        self._arc_pos, weights)
 
     # ------------------------------------------------------------------
     # GraphLike queries
@@ -152,6 +204,22 @@ class CSRGraph:
         from repro.spt.bfs import UNREACHABLE, bfs_distances
 
         return UNREACHABLE not in bfs_distances(self, 0)
+
+    def arc_weight(self, u: int, v: int) -> int:
+        """Weight of the directed arc ``(u, v)`` from the flat array.
+
+        Only valid on weight-carrying snapshots.  The two orientations
+        of an edge are stored separately, so antisymmetric weights read
+        back exactly.  Passing this bound method as the ``weight``
+        argument of :func:`repro.spt.dijkstra.dijkstra` selects the
+        flat array kernel.
+        """
+        if self.weights is None:
+            raise GraphError("snapshot carries no weights array")
+        pos = self._arc_pos.get(canonical_edge(u, v))
+        if pos is None:
+            raise GraphError(f"({u}, {v}) is not an edge")
+        return self.weights[pos[0] if u < v else pos[1]]
 
     # ------------------------------------------------------------------
     # fault masking
@@ -285,6 +353,12 @@ class CSRFaultView:
         from repro.spt.bfs import UNREACHABLE, bfs_distances
 
         return UNREACHABLE not in bfs_distances(self, 0)
+
+    def arc_weight(self, u: int, v: int) -> int:
+        """Weight of the surviving arc ``(u, v)`` (faulted arcs raise)."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"({u}, {v}) not present in the view")
+        return self._base.arc_weight(u, v)
 
     @classmethod
     def _adopt(cls, base: CSRGraph, faults: frozenset,

@@ -19,6 +19,14 @@ Preprocessing cost is one BFS per tree edge.  Run with
 dense graphs the work drops accordingly.  This realises the paper's
 Section-4.3 remark that its fault-tolerant structures "balance the
 information" of DSOs.
+
+All preprocessing runs through a :class:`ScenarioEngine` — one shared
+engine over the base graph (injectable, so a session already holding
+one pays nothing extra) plus one per preserver substrate — so the
+one-BFS-per-tree-edge loop is a batched scenario stream over a reused
+O(|F|) scratch mask rather than a fresh ad-hoc view per edge.  Query
+streams go through :meth:`SourcewiseDSO.query_many`, which hoists the
+per-query validation and dictionary plumbing out of the loop.
 """
 
 from __future__ import annotations
@@ -29,7 +37,8 @@ from repro.exceptions import GraphError
 from repro.graphs.base import Edge, Graph, canonical_edge
 from repro.core.scheme import RestorableTiebreaking
 from repro.preservers.ft_bfs import ft_sv_preserver
-from repro.spt.bfs import UNREACHABLE, bfs_distances
+from repro.scenarios.engine import ScenarioEngine
+from repro.spt.bfs import UNREACHABLE
 
 
 class SourcewiseDSO:
@@ -48,11 +57,17 @@ class SourcewiseDSO:
         ``{s} x V`` preserver rather than the full graph.
     seed:
         Seed for a fresh scheme.
+    engine:
+        Optional shared :class:`ScenarioEngine` over ``graph``; one is
+        built if absent.  Base distance rows come from its cache, and
+        (without a preserver) the per-tree-edge replacement rows run
+        through its reusable scratch mask.
     """
 
     def __init__(self, graph: Graph, sources: Iterable[int],
                  scheme: Optional[RestorableTiebreaking] = None,
-                 use_preserver: bool = False, seed: int = 0):
+                 use_preserver: bool = False, seed: int = 0,
+                 engine: Optional[ScenarioEngine] = None):
         self._graph = graph
         self._sources = sorted(set(sources))
         for s in self._sources:
@@ -62,6 +77,9 @@ class SourcewiseDSO:
             scheme = RestorableTiebreaking.build(graph, f=1, seed=seed)
         self._scheme = scheme
         self._use_preserver = use_preserver
+        if engine is not None and engine.graph is not graph:
+            raise GraphError("engine was built over a different graph")
+        self._engine = engine if engine is not None else ScenarioEngine(graph)
 
         # per source: fault-free distances, tree-path edge sets,
         # and replacement rows per tree edge
@@ -76,7 +94,7 @@ class SourcewiseDSO:
     # ------------------------------------------------------------------
     def _preprocess_source(self, s: int) -> None:
         tree = self._scheme.tree(s)
-        self._base_dist[s] = bfs_distances(self._graph, s)
+        self._base_dist[s] = self._engine.base_distances(s)
         # edge sets of each selected path, built incrementally down
         # the tree (O(n * depth) total, shared via frozenset reuse)
         per_vertex: Dict[int, frozenset] = {s: frozenset()}
@@ -88,16 +106,20 @@ class SourcewiseDSO:
 
         if self._use_preserver:
             substrate = ft_sv_preserver(self._scheme, [s], f=1).as_graph()
+            row_engine = ScenarioEngine(substrate)
         else:
             substrate = self._graph
+            row_engine = self._engine
         self._substrate_edges += substrate.m
-        # One BFS per tree edge, all against the same substrate: build
-        # its CSR snapshot once and mask each fault in O(1).
-        substrate_csr = substrate.csr()
-        for e in tree.edges():
-            self._rows[(s, e)] = bfs_distances(
-                substrate_csr.without([e]), s
-            )
+        # One traversal per tree edge, batched as a scenario stream:
+        # the engine reuses one scratch arc mask, so each fault costs
+        # O(|F|) masking instead of a fresh O(m) view buffer.
+        tree_edges = list(tree.edges())
+        rows = row_engine.distance_vectors(
+            s, [(e,) for e in tree_edges]
+        )
+        for e, row in zip(tree_edges, rows):
+            self._rows[(s, e)] = row
             self._preprocessed_edges += 1
 
     # ------------------------------------------------------------------
@@ -132,21 +154,49 @@ class SourcewiseDSO:
     def query(self, s: int, v: int, e: Edge) -> int:
         """``dist_{G \\ e}(s, v)`` in O(1) (plus a set membership).
 
-        Returns ``-1`` when the fault disconnects the pair.
+        Returns ``-1`` when the fault disconnects the pair.  ``e``
+        must be an edge of the graph: the oracle only answers
+        single-edge-fault scenarios, and a non-edge "fault" would
+        silently alias the fault-free distance (the pre-fix
+        behaviour) instead of surfacing the caller's bug.
         """
-        if s not in self._base_dist:
-            raise GraphError(f"{s} is not an oracle source")
-        if not self._graph.has_vertex(v):
-            raise GraphError(f"unknown vertex {v}")
-        e = canonical_edge(*e)
-        path_edges = self._path_edges[s].get(v)
-        if path_edges is None:
-            # v unreachable fault-free; removing an edge cannot help
-            return UNREACHABLE
-        if e not in path_edges:
-            # stability: an off-path fault leaves the distance intact
-            return self._base_dist[s][v]
-        return self._rows[(s, e)][v]
+        return self.query_many([(s, v, e)])[0]
+
+    def query_many(self, queries: Iterable[Tuple[int, int, Edge]]
+                   ) -> List[int]:
+        """Batch :meth:`query` over a stream of ``(s, v, e)`` triples.
+
+        The one implementation of validate-and-answer (:meth:`query`
+        delegates here), with the per-query attribute and dictionary
+        plumbing hoisted out of the loop — the entry point for large
+        sampled query streams.  Edge existence is checked against the
+        engine's snapshot, which is exact under the library-wide
+        frozen-base-graph convention.
+        """
+        base_dist = self._base_dist
+        path_edges = self._path_edges
+        rows = self._rows
+        has_edge = self._engine.csr.has_edge
+        n = self._graph.n
+        out: List[int] = []
+        append = out.append
+        for s, v, e in queries:
+            bd = base_dist.get(s)
+            if bd is None:
+                raise GraphError(f"{s} is not an oracle source")
+            if not 0 <= v < n:
+                raise GraphError(f"unknown vertex {v}")
+            e = canonical_edge(*e)
+            if not has_edge(*e):
+                raise GraphError(f"{e} is not an edge of the graph")
+            pe = path_edges[s].get(v)
+            if pe is None:
+                append(UNREACHABLE)
+            elif e not in pe:
+                append(bd[v])
+            else:
+                append(rows[(s, e)][v])
+        return out
 
     def __repr__(self) -> str:
         return (

@@ -15,7 +15,20 @@ amortising everything that does not depend on the individual scenario:
   of any shortest ``s ~> t`` path cannot change ``dist(s, t)``, and
   membership is O(1) per fault edge against the two base distance
   vectors — so the common "fault missed me" scenario costs O(|F|)
-  instead of a BFS.
+  instead of a BFS;
+* a bounded LRU *scenario memo* for pair queries: sampled traffic
+  streams repeat fault sets, and a repeat keyed by
+  ``(s, t, canonical fault tuple)`` skips even the touch filter
+  (hit/miss counters via :meth:`ScenarioEngine.cache_info`).
+
+The engine is weight-aware: handed a
+:class:`~repro.weighted.graph.WeightedGraph` (or any graph whose CSR
+snapshot carries a flat ``weights`` array), base distances come from
+the flat Dijkstra kernel instead of BFS, the touch filter generalises
+to ``d_s(u) + w(u, v) + d_t(v) == d_s(t)``, and per-scenario queries
+run masked weighted Dijkstra.  Scheme-based queries (midpoint scans,
+preserver checks) remain unweighted-only and raise on a weighted
+engine.
 
 Per-scenario work then runs over flat arrays (see
 :mod:`repro.spt.fastpaths`), optionally fanned out across a
@@ -36,6 +49,7 @@ True
 from __future__ import annotations
 
 import pickle
+from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
@@ -47,10 +61,30 @@ from repro.scenarios.enumerate import FaultSet, _canonical
 from repro.spt.bfs import UNREACHABLE
 from repro.spt.fastpaths import (
     csr_bfs_distances,
+    csr_dijkstra_flat,
     csr_hop_distance,
+    csr_weighted_distance,
+    csr_weighted_distances,
 )
 
 __all__ = ["ScenarioEngine", "ScenarioResult", "TreeFaultIndex"]
+
+_MISS = object()  # memo sentinel: cached values include UNREACHABLE (-1)
+
+
+def _snapshot_of(graph) -> CSRGraph:
+    """The CSR snapshot to batch over — one definition for engine and pool.
+
+    An immutable :class:`CSRGraph` (possibly weight-carrying) is
+    adopted as-is; a graph with a cached ``csr()`` (``Graph``,
+    ``WeightedGraph``) routes through it; anything else is flattened
+    fresh.
+    """
+    if isinstance(graph, CSRGraph):
+        return graph
+    csr_method = getattr(graph, "csr", None)
+    return csr_method() if csr_method is not None \
+        else CSRGraph.from_graph(graph)
 
 
 @contextmanager
@@ -162,9 +196,16 @@ class ScenarioEngine:
     Parameters
     ----------
     graph:
-        The base :class:`~repro.graphs.base.Graph` (or any ``GraphLike``
-        that a CSR snapshot can be built from).  Assumed frozen for the
-        engine's lifetime, per the library-wide scenario convention.
+        The base :class:`~repro.graphs.base.Graph`,
+        :class:`~repro.weighted.graph.WeightedGraph`, or any
+        ``GraphLike`` that a CSR snapshot can be built from.  Assumed
+        frozen for the engine's lifetime, per the library-wide
+        scenario convention.  When the snapshot carries a flat weights
+        array the engine runs in weighted mode: distances are exact
+        weighted distances via the flat Dijkstra kernels.
+    memoize:
+        Capacity of the per-pair scenario memo (LRU, keyed by
+        ``(s, t, canonical fault tuple)``).  ``0`` disables it.
 
     Notes
     -----
@@ -173,14 +214,35 @@ class ScenarioEngine:
     aligned with the input order.
     """
 
-    def __init__(self, graph):
+    def __init__(self, graph, memoize: int = 4096):
         self.graph = graph
-        self.csr: CSRGraph = (
-            graph.csr() if isinstance(graph, Graph)
-            else CSRGraph.from_graph(graph)
+        self.csr: CSRGraph = _snapshot_of(graph)
+        self.weighted: bool = self.csr.weights is not None
+        # The touch filter reads dist_t[x] as "distance from x to t",
+        # which holds iff the weights are symmetric (always true for a
+        # WeightedGraph snapshot; an adopted antisymmetric snapshot
+        # from with_arc_weights must skip the filter, conservatively
+        # treating every fault set as touching).
+        self._symmetric_weights = (
+            all(
+                self.csr.weights[i] == self.csr.weights[j]
+                for i, j in self.csr._arc_pos.values()
+            ) if self.weighted else True
         )
         self._base_dist: Dict[int, List[int]] = {}
         self._tree_index: Dict[int, TreeFaultIndex] = {}
+        # Scenario memo: bounded LRU over pair replacement distances,
+        # so repeated fault sets in sampled streams skip even the
+        # touch filter.
+        self._memo: "OrderedDict[Tuple, int]" = OrderedDict()
+        self._memo_max = max(0, memoize)
+        self.cache_hits = 0
+        self.cache_misses = 0
+        # Perturbed-weight state (weighted mode): snapshot per seed,
+        # SSSP result per (seed, source) — the amortised substrate of
+        # restore_via_middle_edge over a scenario stream.
+        self._perturbed: Dict[int, Tuple[CSRGraph, int]] = {}
+        self._perturbed_sssp: Dict[Tuple[int, int], Tuple] = {}
         # Reusable arc mask: zeroed at <= 2|F| positions per scenario
         # and restored afterwards, so per-scenario masking really is
         # O(|F|) (a fresh CSRFaultView would pay an O(m) buffer copy).
@@ -208,15 +270,67 @@ class ScenarioEngine:
         finally:
             self._mask_busy = False
 
+    def _require_unweighted(self, what: str) -> None:
+        if self.weighted:
+            raise GraphError(
+                f"{what} runs on hop distances and tiebreaking schemes; "
+                f"it is not defined for a weighted engine"
+            )
+
+    def _require_weighted(self, what: str) -> None:
+        if not self.weighted:
+            raise GraphError(f"{what} requires a weighted engine")
+
     # ------------------------------------------------------------------
     # amortised base state
     # ------------------------------------------------------------------
     def base_distances(self, source: int) -> List[int]:
-        """Fault-free BFS distances from ``source`` (computed once)."""
+        """Fault-free distances from ``source`` (computed once).
+
+        Hop distances via array BFS on an unweighted engine, exact
+        weighted distances via the flat Dijkstra kernel on a weighted
+        one; either way a dense vector with ``UNREACHABLE`` (-1) where
+        cut off.
+        """
         cached = self._base_dist.get(source)
         if cached is None:
-            cached = csr_bfs_distances(self.csr, None, source)
+            if self.weighted:
+                cached = csr_weighted_distances(self.csr, None, source)
+            else:
+                cached = csr_bfs_distances(self.csr, None, source)
             self._base_dist[source] = cached
+        return cached
+
+    def perturbed_csr(self, seed: int = 0) -> Tuple[CSRGraph, int]:
+        """``(snapshot, scale)`` under perturbed-unique weights, per seed.
+
+        Materialises :meth:`WeightedGraph.perturbed_weight
+        <repro.weighted.graph.WeightedGraph.perturbed_weight>` into a
+        flat (antisymmetric) per-arc array once per seed, so the
+        middle-edge restoration sweep reads perturbed weights by index.
+        """
+        self._require_weighted("perturbed_csr")
+        cached = self._perturbed.get(seed)
+        if cached is None:
+            perturbed = getattr(self.graph, "perturbed_weight", None)
+            if perturbed is None:
+                raise GraphError(
+                    "perturbed_csr needs a WeightedGraph base "
+                    "(got a bare weighted snapshot)"
+                )
+            arc_weight, scale = perturbed(seed=seed)
+            cached = (self.csr.with_arc_weights(arc_weight), scale)
+            self._perturbed[seed] = cached
+        return cached
+
+    def perturbed_sssp(self, source: int, seed: int = 0):
+        """Cached ``(dist, parent)`` maps under perturbed weights."""
+        key = (seed, source)
+        cached = self._perturbed_sssp.get(key)
+        if cached is None:
+            pcsr, _ = self.perturbed_csr(seed)
+            cached = csr_dijkstra_flat(pcsr, None, source)
+            self._perturbed_sssp[key] = cached
         return cached
 
     def tree_index(self, tree) -> TreeFaultIndex:
@@ -241,19 +355,47 @@ class ScenarioEngine:
         """Could ``faults`` change ``dist(s, t)``?  O(|F|), no false negatives.
 
         An edge lies on some shortest ``s ~> t`` path iff one of its
-        orientations satisfies ``d_s(u) + 1 + d_t(v) == d_s(t)``; a
-        fault set touching no such edge leaves the distance unchanged.
-        (Edges absent from the graph may pass the arithmetic test —
-        that only costs a redundant BFS, never a wrong answer.)
+        orientations satisfies ``d_s(u) + w(u, v) + d_t(v) == d_s(t)``
+        (``w = 1`` on an unweighted engine); a fault set touching no
+        such edge leaves the distance unchanged.  On the unweighted
+        path, edges absent from the graph may pass the arithmetic test
+        — that only costs a redundant BFS, never a wrong answer; the
+        weighted path looks the weight up by arc position, so absent
+        edges are skipped exactly.
+
+        The test reads ``dist_t[x]`` as the ``x -> t`` distance, which
+        requires symmetric weights; over an antisymmetric snapshot the
+        filter degrades to "always touches" (still no false
+        negatives, just no skipping).
         """
         if not self.csr.has_vertex(t):
             raise GraphError(f"unknown target vertex {t}")
+        if not self._symmetric_weights:
+            return True
         dist_s = self.base_distances(s)
         dist_t = self.base_distances(t)
         base = dist_s[t]
         if base == UNREACHABLE:
             return False
         n = self.csr.n
+        if self.weighted:
+            weights = self.csr.weights
+            for u, v in faults:
+                if u == v or not (0 <= u < n and 0 <= v < n):
+                    continue  # tolerated, like without()
+                pos = self.csr.arc_positions(u, v)
+                if pos is None:
+                    continue  # absent edge cannot touch any path
+                a, b = canonical_edge(u, v)
+                da, db = dist_s[a], dist_s[b]
+                ta, tb = dist_t[a], dist_t[b]
+                if (da != UNREACHABLE and tb != UNREACHABLE
+                        and da + weights[pos[0]] + tb == base):
+                    return True
+                if (db != UNREACHABLE and ta != UNREACHABLE
+                        and db + weights[pos[1]] + ta == base):
+                    return True
+            return False
         for u, v in faults:
             if not (0 <= u < n and 0 <= v < n):
                 continue  # absent edges are tolerated, like without()
@@ -267,15 +409,47 @@ class ScenarioEngine:
 
     def pair_replacement_distance(self, s: int, t: int,
                                   faults: Iterable[Edge]) -> int:
-        """``dist_{G \\ F}(s, t)``, skipping BFS when ``F`` misses the pair."""
+        """``dist_{G \\ F}(s, t)``, skipping the traversal when it can.
+
+        Two amortisation layers fire before any per-scenario traversal:
+        the LRU memo (repeated fault sets in sampled streams are O(1))
+        and the touch filter (a fault set off every shortest path
+        returns the base distance in O(|F|)).
+        """
         if not self.csr.has_vertex(t):
             raise GraphError(f"unknown target vertex {t}")
-        fault_list = list(faults)
+        fault_key = _canonical(faults)
+        if self._memo_max:
+            key = (s, t, fault_key)
+            cached = self._memo.get(key, _MISS)
+            if cached is not _MISS:
+                self.cache_hits += 1
+                self._memo.move_to_end(key)
+                return cached
+            self.cache_misses += 1
         base = self.base_distances(s)[t]
-        if not self.faults_touch_pair(s, t, fault_list):
-            return base
-        with self._masked(fault_list) as mask:
-            return csr_hop_distance(self.csr, mask, s, t)
+        if not self.faults_touch_pair(s, t, fault_key):
+            result = base
+        else:
+            with self._masked(fault_key) as mask:
+                if self.weighted:
+                    result = csr_weighted_distance(self.csr, mask, s, t)
+                else:
+                    result = csr_hop_distance(self.csr, mask, s, t)
+        if self._memo_max:
+            self._memo[key] = result
+            if len(self._memo) > self._memo_max:
+                self._memo.popitem(last=False)
+        return result
+
+    def cache_info(self) -> Dict[str, int]:
+        """Scenario-memo counters: hits, misses, size, maxsize."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "size": len(self._memo),
+            "maxsize": self._memo_max,
+        }
 
     def replacement_distances(self, s: int, t: int,
                               scenarios: Iterable[Iterable[Edge]]
@@ -293,7 +467,11 @@ class ScenarioEngine:
         out = []
         for faults in scenarios:
             with self._masked(faults) as mask:
-                out.append(csr_bfs_distances(self.csr, mask, source))
+                if self.weighted:
+                    out.append(csr_weighted_distances(self.csr, mask,
+                                                      source))
+                else:
+                    out.append(csr_bfs_distances(self.csr, mask, source))
         return out
 
     def connectivity(self, scenarios: Iterable[Iterable[Edge]]
@@ -325,6 +503,7 @@ class ScenarioEngine:
         provider, so consecutive scenarios against the same pair share
         all tree work.
         """
+        self._require_unweighted("midpoint_scan")
         from repro.core.restoration import midpoint_scan
 
         return midpoint_scan(
@@ -340,6 +519,7 @@ class ScenarioEngine:
         replacement distance and the naive (``F' = ∅``) midpoint-scan
         outcome, or ``None`` when the fault disconnects the pair.
         """
+        self._require_unweighted("restoration_sweep")
         out = []
         for i, (s, t, e) in enumerate(instances):
             target = self.pair_replacement_distance(s, t, (e,))
@@ -366,6 +546,7 @@ class ScenarioEngine:
         preserves every queried distance in every scenario.  Both
         ``G \\ F`` and ``H \\ F`` run on CSR snapshots built once.
         """
+        self._require_unweighted("preserver_violations")
         source_list = sorted(set(sources))
         target_list = (
             sorted(set(targets)) if targets is not None else source_list
@@ -443,10 +624,7 @@ _WORKER_FN: Optional[Callable] = None
 
 def _pool_init(graph, evaluator) -> None:
     global _WORKER_CSR, _WORKER_FN
-    _WORKER_CSR = (
-        graph.csr() if isinstance(graph, Graph)
-        else CSRGraph.from_graph(graph)
-    )
+    _WORKER_CSR = _snapshot_of(graph)
     _WORKER_FN = evaluator
 
 

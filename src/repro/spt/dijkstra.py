@@ -44,11 +44,52 @@ def dijkstra(graph, source: int, weight: WeightFn,
         vertex; ``parent[v]`` the predecessor on the found shortest
         path (``parent[source] is None``).  Unreached vertices appear
         in neither map.
+
+    Notes
+    -----
+    Dispatch picks the cheapest applicable loop: when the graph has a
+    CSR fast path *and* ``weight`` is the graph's own array-backed
+    accessor (``arc_weight`` of a :class:`~repro.weighted.graph.WeightedGraph`,
+    :class:`~repro.weighted.graph.WeightedView`, or a weight-carrying
+    CSR snapshot), the flat kernel reads weights by array index; with a
+    CSR path but a foreign weight callable, the array loop still runs
+    but calls back into Python per arc; otherwise the generic
+    reference loop (:func:`dijkstra_reference`) runs.
     """
     csr = as_csr(graph)
     if csr is not None:
+        if _reads_flat_weights(graph, csr[0], weight):
+            return fastpaths.csr_dijkstra_flat(csr[0], csr[1], source,
+                                               targets=targets)
         return fastpaths.csr_dijkstra(csr[0], csr[1], source, weight,
                                       targets=targets)
+    return dijkstra_reference(graph, source, weight, targets=targets)
+
+
+def _reads_flat_weights(graph, csr, weight: WeightFn) -> bool:
+    """True when ``weight`` is ``graph``'s own array-backed accessor.
+
+    The flat kernel is only sound when the passed weight function
+    reads the very values stored in the snapshot's ``weights`` array.
+    That is guaranteed exactly when the caller passed the graph's own
+    bound ``arc_weight`` (the snapshot was built from, and is
+    invalidated with, those weights); any other callable falls back to
+    the per-arc kernel.
+    """
+    if csr.weights is None:
+        return False
+    return (getattr(weight, "__name__", None) == "arc_weight"
+            and getattr(weight, "__self__", None) is graph)
+
+
+def dijkstra_reference(graph, source: int, weight: WeightFn,
+                       targets: Optional[Iterable[int]] = None):
+    """The generic dict-and-heap reference loop behind :func:`dijkstra`.
+
+    Runs on any ``GraphLike`` with no CSR dispatch — this is the
+    yardstick the cross-check tests and the weighted-engine benchmark
+    compare the flat kernels against.
+    """
     if not graph.has_vertex(source):
         raise GraphError(f"unknown source vertex {source}")
     remaining = set(targets) if targets is not None else None
@@ -95,7 +136,13 @@ def count_min_weight_paths(graph, source: int, weight: WeightFn) -> Dict[int, in
     tiebreaker iff every reachable count is exactly 1 (Definition 18's
     uniqueness requirement) — this is the certifying check used by
     :meth:`repro.core.weights.AntisymmetricWeights.verify_tiebreaking`.
+
+    Routed over the flat-array kernel whenever :func:`dijkstra` itself
+    would be (array-backed graph weights); output is identical.
     """
+    csr = as_csr(graph)
+    if csr is not None and _reads_flat_weights(graph, csr[0], weight):
+        return fastpaths.csr_count_min_weight_paths(csr[0], csr[1], source)
     dist, _ = dijkstra(graph, source, weight)
     order = sorted(dist, key=lambda v: dist[v])
     count: Dict[int, int] = {source: 1}

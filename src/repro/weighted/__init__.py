@@ -10,14 +10,23 @@ decomposition is tiebreaking-insensitive.
 This package implements that surviving theory:
 
 * :class:`~repro.weighted.graph.WeightedGraph` — undirected graphs
-  with positive integer edge weights.
+  with positive integer edge weights, carrying a cached
+  weight-array CSR snapshot (:meth:`~repro.weighted.graph.WeightedGraph.csr`)
+  that routes every Dijkstra over the flat-array kernel.
 * :mod:`~repro.weighted.restoration` — Theorem 11 as a decision
-  procedure on weighted instances, and edge-candidate restoration.
+  procedure on weighted instances, and edge-candidate restoration;
+  both accept a shared weighted
+  :class:`~repro.scenarios.engine.ScenarioEngine` to amortise
+  distance vectors and perturbed trees across a fault stream.
 * :mod:`~repro.weighted.base_set` — Afek et al.'s base-set method:
   the O(mn)-path set from which any replacement path is a two-path
   concatenation, sized against Theorem 2's 2·n(n-1) selected paths —
   the paper's "intermediate open question" about base-set size,
   measured (``bench_ablation_base_sets``).
+
+``benchmarks/bench_weighted_engine.py`` measures the weighted engine
+against the naive per-scenario Dijkstra loop it replaces;
+``examples/weighted_scenarios.py`` is the guided tour.
 """
 
 from repro.weighted.graph import WeightedGraph

@@ -13,7 +13,11 @@ question"; the ``bench_ablation_base_sets`` benchmark measures it.
 Canonical paths here are made unique and *symmetric* by a symmetric
 random perturbation (unlike the antisymmetric one of Definition 18 —
 symmetry is fine for the base set because correctness never depended
-on tiebreaking).
+on tiebreaking).  The perturbed weights are materialised into a flat
+per-arc array once (see :meth:`repro.graphs.csr.CSRGraph.with_arc_weights`),
+so every canonical tree is computed by the flat Dijkstra kernel, and
+restoration queries run through a :class:`ScenarioEngine` — shared
+base distances, tree fault indices and the replacement-distance memo.
 """
 
 from __future__ import annotations
@@ -23,7 +27,8 @@ from typing import Dict, Iterator, Optional, Tuple
 
 from repro.exceptions import DisconnectedError, GraphError
 from repro.graphs.base import Edge, Graph, canonical_edge
-from repro.spt.bfs import UNREACHABLE, bfs_distances
+from repro.scenarios.engine import ScenarioEngine
+from repro.spt.bfs import UNREACHABLE
 from repro.spt.trees import ShortestPathTree
 from repro.spt.paths import Path
 
@@ -37,10 +42,19 @@ class BaseSet:
         Undirected unweighted input.
     seed:
         Randomness for the symmetric tie-breaking perturbation.
+    engine:
+        Optional shared (unweighted) :class:`ScenarioEngine` over
+        ``graph``; one is built if absent.  Restoration queries reuse
+        its base distance vectors, subtree interval indices, and
+        scenario memo.
     """
 
-    def __init__(self, graph: Graph, seed: int = 0):
+    def __init__(self, graph: Graph, seed: int = 0,
+                 engine: Optional[ScenarioEngine] = None):
         self._graph = graph
+        if engine is not None and engine.graph is not graph:
+            raise GraphError("engine was built over a different graph")
+        self._engine = engine if engine is not None else ScenarioEngine(graph)
         n = max(graph.n, 2)
         rng = random.Random(seed)
         big = n ** 6
@@ -49,10 +63,15 @@ class BaseSet:
             edge: rng.randint(-big, big) for edge in graph.edges()
         }
 
-        def weight(u: int, v: int) -> int:
-            return self._scale + perturbation[canonical_edge(u, v)]
+        scale = self._scale
 
-        self._weight = weight
+        def weight(u: int, v: int) -> int:
+            return scale + perturbation[canonical_edge(u, v)]
+
+        # Flat symmetric perturbed weights over the engine's snapshot:
+        # every canonical tree below is one flat-kernel Dijkstra (and
+        # the closure and perturbation dict die with this frame).
+        self._wcsr = self._engine.csr.with_arc_weights(weight)
         self._trees: Dict[int, ShortestPathTree] = {}
 
     # ------------------------------------------------------------------
@@ -64,7 +83,7 @@ class BaseSet:
         tree = self._trees.get(source)
         if tree is None:
             tree = ShortestPathTree.compute(
-                self._graph, source, self._weight, self._scale
+                self._wcsr, source, self._wcsr.arc_weight, self._scale
             )
             self._trees[source] = tree
         return tree
@@ -120,15 +139,13 @@ class BaseSet:
         direct = self.canonical(s, t)
         if direct is not None and direct.avoids([e]):
             return direct
-        target = bfs_distances(self._graph.without([e]), s)[t]
+        target = self._engine.pair_replacement_distance(s, t, [e])
         if target == UNREACHABLE:
             raise DisconnectedError(s, t, [e])
         tree_s = self._tree(s)
         tree_t = self._tree(t)
-        from repro.core.restoration import tree_fault_free_vertices
-
-        good_s = tree_fault_free_vertices(tree_s, [e])
-        good_t = tree_fault_free_vertices(tree_t, [e])
+        good_s = self._engine.tree_index(tree_s).fault_free_vertices([e])
+        good_t = self._engine.tree_index(tree_t).fault_free_vertices([e])
         best: Optional[Tuple[int, Edge]] = None
         for u, v in self._graph.arcs():
             if canonical_edge(u, v) == e:

@@ -28,12 +28,13 @@ class WeightedGraph:
         Iterable of ``(u, v, w)`` triples with ``w >= 1``.
     """
 
-    __slots__ = ("_graph", "_weights")
+    __slots__ = ("_graph", "_weights", "_csr")
 
     def __init__(self, num_vertices: int = 0,
                  weighted_edges: Iterable[Tuple[int, int, int]] = ()):
         self._graph = Graph(num_vertices)
         self._weights: Dict[Edge, int] = {}
+        self._csr = None
         for u, v, w in weighted_edges:
             self.add_edge(u, v, w)
 
@@ -64,8 +65,27 @@ class WeightedGraph:
         return self._graph.add_vertex()
 
     def add_edge(self, u: int, v: int, weight: int) -> Edge:
+        """Insert the weighted edge ``{u, v}``; return its canonical form.
+
+        Re-adding an existing edge with the *same* weight is an
+        idempotent no-op, mirroring :meth:`Graph.add_edge
+        <repro.graphs.base.Graph.add_edge>`; a *conflicting* weight
+        raises :class:`~repro.exceptions.GraphError` instead of
+        silently overwriting (an overwrite would also have invalidated
+        every snapshot keyed on the ``(n, m)`` state without changing
+        ``(n, m)`` — see :meth:`csr`).
+        """
         if weight < 1:
             raise GraphError(f"edge weight must be >= 1, got {weight}")
+        if self._graph.has_edge(u, v):
+            edge = canonical_edge(u, v)
+            if self._weights[edge] != weight:
+                raise GraphError(
+                    f"edge {edge} re-added with weight {weight}, "
+                    f"conflicting with existing weight "
+                    f"{self._weights[edge]}"
+                )
+            return edge
         edge = self._graph.add_edge(u, v)
         self._weights[edge] = weight
         return edge
@@ -125,6 +145,30 @@ class WeightedGraph:
         """The underlying unweighted graph (shared, do not mutate)."""
         return self._graph
 
+    def csr(self):
+        """A cached weight-carrying CSR snapshot of the current state.
+
+        Mirrors :meth:`repro.graphs.base.Graph.csr`: the snapshot
+        (a :class:`repro.graphs.csr.CSRGraph` with a flat per-arc
+        ``weights`` array) is rebuilt whenever ``(n, m)`` changes.
+        That stamp is a sound invalidation rule here because
+        :meth:`add_edge` refuses conflicting re-adds — a weight can
+        never change without ``m`` changing.
+        """
+        from repro.graphs.csr import CSRGraph
+
+        cached = self._csr
+        if (cached is None or cached.n != self.n
+                or cached.m != self.m):
+            cached = CSRGraph.from_graph(self._graph,
+                                         arc_weight=self.arc_weight)
+            self._csr = cached
+        return cached
+
+    def _as_csr(self):
+        """Fast-path dispatch hook (see :func:`repro.graphs.csr.as_csr`)."""
+        return self.csr(), None
+
     def perturbed_weight(self, seed: int = 0):
         """A unique-shortest-path refinement of the weights.
 
@@ -158,15 +202,28 @@ class WeightedGraph:
 class WeightedView:
     """``G \\ F`` over a weighted graph (read-only, weight-preserving)."""
 
-    __slots__ = ("_base", "_view")
+    __slots__ = ("_base", "_view", "_csr_view")
 
     def __init__(self, base: WeightedGraph, faults: Iterable[Edge]):
         self._base = base
         self._view = base.unit_graph().without(faults)
+        self._csr_view = None
+
+    @property
+    def base(self) -> WeightedGraph:
+        return self._base
+
+    @property
+    def faults(self) -> frozenset:
+        return self._view.faults
 
     @property
     def n(self) -> int:
         return self._view.n
+
+    @property
+    def m(self) -> int:
+        return self._view.m
 
     def vertices(self) -> range:
         return self._view.vertices()
@@ -196,3 +253,15 @@ class WeightedView:
 
     def arc_weight(self, u: int, v: int) -> int:
         return self.weight(u, v)
+
+    def _as_csr(self):
+        """Weighted base snapshot plus this view's arc mask (cached).
+
+        Views are immutable, so the one O(m) mask allocation is paid on
+        first use and shared by every traversal over the view.
+        """
+        view = self._csr_view
+        if view is None:
+            view = self._base.csr().without(self._view.faults)
+            self._csr_view = view
+        return view._as_csr()

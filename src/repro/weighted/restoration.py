@@ -13,26 +13,44 @@ tiebreaking-sensitive, which makes it directly algorithmic:
   shortest path by scanning middle edges against two precomputed
   shortest-path trees — the engine inside the candidate sweep of
   Theorem 28, here exposed for weighted graphs.
+
+Both run on a (shared or per-call) weighted
+:class:`~repro.scenarios.engine.ScenarioEngine`: base and per-fault
+distance vectors come from the flat-array Dijkstra kernels, the
+per-candidate distance vectors of the lemma checker are cached across
+the middle-edge sweep, and the perturbed-unique trees of the restorer
+are materialised into flat antisymmetric weight arrays once per seed.
+Pass the same ``engine`` across calls against one graph to share all
+of that state — exactly the "one base graph, many fault scenarios"
+amortisation the engine exists for.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.exceptions import DisconnectedError, GraphError
 from repro.graphs.base import Edge, canonical_edge
-from repro.spt.dijkstra import dijkstra, extract_path
+from repro.scenarios.engine import ScenarioEngine
+from repro.spt.bfs import UNREACHABLE
+from repro.spt.dijkstra import extract_path
 from repro.spt.paths import Path
 from repro.weighted.graph import WeightedGraph
 
 
-def _weighted_distances(wg, source: int) -> Dict[int, int]:
-    dist, _ = dijkstra(wg, source, wg.arc_weight)
-    return dist
+def _engine_for(wg: WeightedGraph,
+                engine: Optional[ScenarioEngine]) -> ScenarioEngine:
+    if engine is None:
+        return ScenarioEngine(wg)
+    if engine.graph is not wg:
+        raise GraphError("engine was built over a different graph")
+    return engine
 
 
 def weighted_restoration_lemma_holds(wg: WeightedGraph, s: int, t: int,
-                                     e: Edge) -> bool:
+                                     e: Edge,
+                                     engine: Optional[ScenarioEngine] = None
+                                     ) -> bool:
     """Decide Theorem 11's guarantee for one weighted instance.
 
     True iff some edge ``(u, v) != e`` satisfies
@@ -40,48 +58,61 @@ def weighted_restoration_lemma_holds(wg: WeightedGraph, s: int, t: int,
     *no* shortest ``s ~> u`` or ``v ~> t`` path using ``e`` (so any
     tie choice concatenates validly).  Vacuously true when ``e``
     disconnects the pair.
+
+    ``engine`` may be a weighted :class:`ScenarioEngine` over ``wg``;
+    sharing one across many instances reuses every base distance
+    vector the candidate sweep touches.
     """
     e = canonical_edge(*e)
     a, b = e
-    view = wg.without([e])
-    dist_after = _weighted_distances(view, s)
-    if t not in dist_after:
-        return True
-    target = dist_after[t]
-    dist_s = _weighted_distances(wg, s)
-    dist_t = _weighted_distances(wg, t)
     w_e = wg.weight(a, b)
+    engine = _engine_for(wg, engine)
+    # Through the pair query, not a full vector: the touch filter
+    # answers off-path faults in O(1), the memo answers repeats, and
+    # the masked traversal early-exits at t.
+    target = engine.pair_replacement_distance(s, t, (e,))
+    if target == UNREACHABLE:
+        return True
+    dist_s = engine.base_distances(s)
+    dist_t = engine.base_distances(t)
 
-    def every_shortest_avoids(dist_from: Dict[int, int], x: int) -> bool:
+    def every_shortest_avoids(dist_from: List[int], x: int) -> bool:
         """No shortest (origin ~> x) path crosses e = (a, b)."""
-        if x not in dist_from:
+        if dist_from[x] == UNREACHABLE:
             return False
-        dist_x = _weighted_distances(wg, x)
+        dist_x = engine.base_distances(x)
         via_ab = (
-            a in dist_from and b in dist_x
+            dist_from[a] != UNREACHABLE and dist_x[b] != UNREACHABLE
             and dist_from[a] + w_e + dist_x[b] == dist_from[x]
         )
         via_ba = (
-            b in dist_from and a in dist_x
+            dist_from[b] != UNREACHABLE and dist_x[a] != UNREACHABLE
             and dist_from[b] + w_e + dist_x[a] == dist_from[x]
         )
         return not (via_ab or via_ba)
 
-    for u, v in wg.arcs():
-        if canonical_edge(u, v) == e:
+    csr = engine.csr
+    weights, indptr, indices = csr.weights, csr.indptr, csr.indices
+    for u in range(csr.n):
+        if dist_s[u] == UNREACHABLE:
             continue
-        if u not in dist_s or v not in dist_t:
-            continue
-        if dist_s[u] + wg.weight(u, v) + dist_t[v] != target:
-            continue
-        if every_shortest_avoids(dist_s, u) and \
-                every_shortest_avoids(dist_t, v):
-            return True
+        for i in range(indptr[u], indptr[u + 1]):
+            v = indices[i]
+            if canonical_edge(u, v) == e:
+                continue
+            if dist_t[v] == UNREACHABLE:
+                continue
+            if dist_s[u] + weights[i] + dist_t[v] != target:
+                continue
+            if every_shortest_avoids(dist_s, u) and \
+                    every_shortest_avoids(dist_t, v):
+                return True
     return False
 
 
 def restore_via_middle_edge(wg: WeightedGraph, s: int, t: int,
-                            e: Edge, seed: int = 0
+                            e: Edge, seed: int = 0,
+                            engine: Optional[ScenarioEngine] = None
                             ) -> Tuple[Path, int]:
     """Restore a weighted shortest path around ``e`` (Theorem 11 style).
 
@@ -91,33 +122,41 @@ def restore_via_middle_edge(wg: WeightedGraph, s: int, t: int,
     weight.  By Theorem 11 the best candidate is a true replacement
     shortest path.
 
+    The perturbed weights are materialised into a flat antisymmetric
+    arc array and the two SSSP runs are cached on the engine (per
+    ``(seed, source)``), so a stream of faults against the same
+    monitored pair pays for the trees once.
+
     Raises :class:`DisconnectedError` when ``e`` cuts the pair.
     """
     e = canonical_edge(*e)
-    arc_weight, scale = wg.perturbed_weight(seed=seed)
-    dist_s, parent_s = dijkstra(wg, s, arc_weight)
-    dist_t, parent_t = dijkstra(wg, t, arc_weight)
+    engine = _engine_for(wg, engine)
+    pcsr, _scale = engine.perturbed_csr(seed)
+    dist_s, parent_s = engine.perturbed_sssp(s, seed)
+    dist_t, parent_t = engine.perturbed_sssp(t, seed)
 
-    def path_from(parent, x) -> Optional[Path]:
-        return extract_path(parent, x)
-
+    weights, indptr, indices = pcsr.weights, pcsr.indptr, pcsr.indices
     best = None
-    for u, v in wg.arcs():
-        if canonical_edge(u, v) == e:
+    for u in range(pcsr.n):
+        du = dist_s.get(u)
+        if du is None:
             continue
-        if u not in dist_s or v not in dist_t:
-            continue
-        candidate_weight = (
-            dist_s[u] + arc_weight(u, v) + dist_t[v]
-        )
-        if best is not None and candidate_weight >= best[0]:
-            continue
-        front = path_from(parent_s, u)
-        back = path_from(parent_t, v)
-        walk = front.concat(Path([u, v])).concat(back.reverse())
-        if not walk.avoids([e]):
-            continue
-        best = (candidate_weight, walk)
+        for i in range(indptr[u], indptr[u + 1]):
+            v = indices[i]
+            if canonical_edge(u, v) == e:
+                continue
+            dv = dist_t.get(v)
+            if dv is None:
+                continue
+            candidate_weight = du + weights[i] + dv
+            if best is not None and candidate_weight >= best[0]:
+                continue
+            front = extract_path(parent_s, u)
+            back = extract_path(parent_t, v)
+            walk = front.concat(Path([u, v])).concat(back.reverse())
+            if not walk.avoids([e]):
+                continue
+            best = (candidate_weight, walk)
     if best is None:
         raise DisconnectedError(s, t, [e])
     _, walk = best

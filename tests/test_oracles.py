@@ -51,6 +51,52 @@ class TestQueries:
         with pytest.raises(GraphError):
             oracle.query(0, 999, (0, 1))
 
+    def test_unknown_edge_rejected(self, setup):
+        # regression: a non-edge "fault" used to silently return the
+        # base distance instead of flagging the bad query
+        g, oracle = setup
+        non_edge = next(
+            (u, v)
+            for u in g.vertices() for v in g.vertices()
+            if u < v and not g.has_edge(u, v)
+        )
+        with pytest.raises(GraphError):
+            oracle.query(0, 5, non_edge)
+        with pytest.raises(GraphError):
+            oracle.query_many([(0, 5, non_edge)])
+
+    def test_query_many_matches_scalar(self, setup):
+        g, oracle = setup
+        queries = []
+        for s in (0, 12):
+            tree = oracle.scheme.tree(s)
+            for e in list(tree.edges())[:6]:
+                for v in (1, 9, 20):
+                    queries.append((s, v, e))
+        assert oracle.query_many(queries) == [
+            oracle.query(*q) for q in queries
+        ]
+        assert oracle.query_many([]) == []
+
+    def test_shared_engine_identical_answers(self, setup):
+        from repro.scenarios import ScenarioEngine
+
+        g, oracle = setup
+        engine = ScenarioEngine(g)
+        shared = SourcewiseDSO(g, [0, 12], scheme=oracle.scheme,
+                               engine=engine)
+        tree = oracle.scheme.tree(0)
+        for e in list(tree.edges())[:8]:
+            for v in g.vertices():
+                assert shared.query(0, v, e) == oracle.query(0, v, e)
+
+    def test_foreign_engine_rejected(self):
+        from repro.scenarios import ScenarioEngine
+
+        g = generators.cycle(6)
+        with pytest.raises(GraphError):
+            SourcewiseDSO(g, [0], engine=ScenarioEngine(generators.cycle(7)))
+
     def test_query_source_itself(self, setup):
         g, oracle = setup
         e = next(iter(g.edges()))

@@ -26,6 +26,31 @@ class TestWeightedGraph:
         with pytest.raises(GraphError):
             WeightedGraph(2, [(0, 1, 0)])
 
+    def test_readd_same_weight_idempotent(self):
+        wg = WeightedGraph(3, [(0, 1, 5)])
+        assert wg.add_edge(1, 0, 5) == (0, 1)  # either orientation
+        assert wg.m == 1 and wg.weight(0, 1) == 5
+
+    def test_readd_conflicting_weight_rejected(self):
+        # regression: this used to silently overwrite the weight
+        wg = WeightedGraph(3, [(0, 1, 5)])
+        with pytest.raises(GraphError):
+            wg.add_edge(0, 1, 7)
+        with pytest.raises(GraphError):
+            wg.add_edge(1, 0, 7)
+        assert wg.weight(0, 1) == 5
+
+    def test_csr_cached_and_invalidated(self):
+        wg = WeightedGraph(4, [(0, 1, 5), (1, 2, 3)])
+        snap = wg.csr()
+        assert snap is wg.csr()  # cached while (n, m) is unchanged
+        assert snap.arc_weight(0, 1) == 5 == snap.arc_weight(1, 0)
+        wg.add_edge(2, 3, 9)
+        fresh = wg.csr()
+        assert fresh is not snap
+        assert fresh.arc_weight(2, 3) == 9
+        assert not snap.has_edge(2, 3)  # old snapshot is immutable
+
     def test_missing_edge_weight(self):
         wg = WeightedGraph(3, [(0, 1, 1)])
         with pytest.raises(GraphError):
@@ -109,6 +134,28 @@ class TestRestoreViaMiddleEdge:
             assert weight == dist_after[17]
             assert path.avoids([e])
 
+    def test_shared_engine_across_fault_stream(self):
+        from repro.scenarios import ScenarioEngine
+
+        wg = WeightedGraph.random(18, 0.2, seed=7)
+        engine = ScenarioEngine(wg)
+        for e in list(wg.edges())[:6]:
+            fresh = restore_via_middle_edge(wg, 0, 17, e)
+            shared = restore_via_middle_edge(wg, 0, 17, e, engine=engine)
+            assert fresh[1] == shared[1]
+        # the perturbed trees were computed once, then reused
+        assert len(engine._perturbed) == 1
+        assert set(engine._perturbed_sssp) == {(0, 0), (0, 17)}
+
+    def test_foreign_engine_rejected(self):
+        from repro.scenarios import ScenarioEngine
+
+        wg = WeightedGraph.random(10, 0.3, seed=1)
+        other = ScenarioEngine(WeightedGraph.random(10, 0.3, seed=2))
+        with pytest.raises(GraphError):
+            restore_via_middle_edge(wg, 0, 9, next(iter(wg.edges())),
+                                    engine=other)
+
     def test_weighted_path_structure(self):
         wg = WeightedGraph(4, [(0, 1, 1), (1, 3, 1), (0, 2, 2), (2, 3, 2)])
         path, weight = restore_via_middle_edge(wg, 0, 3, (0, 1))
@@ -166,3 +213,26 @@ class TestBaseSet:
         g = Graph(3, [(0, 1)])
         bs = BaseSet(g, seed=0)
         assert bs.canonical(0, 2) is None
+
+    def test_foreign_engine_rejected(self):
+        from repro.scenarios import ScenarioEngine
+
+        g = generators.cycle(8)
+        with pytest.raises(GraphError):
+            BaseSet(g, engine=ScenarioEngine(generators.cycle(4)))
+
+    def test_shared_engine_same_restoration(self, base):
+        from repro.scenarios import ScenarioEngine
+
+        g, bs = base
+        engine = ScenarioEngine(g)
+        shared = BaseSet(g, seed=2, engine=engine)
+        path = bs.canonical(0, 19)
+        for e in list(path.edges())[:3]:
+            try:
+                expect = bs.restore(0, 19, e)
+            except DisconnectedError:
+                with pytest.raises(DisconnectedError):
+                    shared.restore(0, 19, e)
+                continue
+            assert shared.restore(0, 19, e).hops == expect.hops
