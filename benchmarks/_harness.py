@@ -2,7 +2,14 @@
 
 Every benchmark computes an experiment table (paper bound vs measured
 value), prints it, and persists it under ``benchmarks/results/`` so the
-numbers recorded in EXPERIMENTS.md are regenerable artifacts.
+numbers recorded in EXPERIMENTS.md are regenerable artifacts.  Each
+machine-readable payload written via :func:`emit_json` is additionally
+folded into one top-level ``BENCH_SUMMARY.json`` at the repo root, so
+the perf trajectory across PRs is a single machine-readable file
+instead of a directory of per-bench snapshots.
+
+Run ``python benchmarks/_harness.py`` to rebuild the summary from
+whatever ``results/*.json`` files currently exist.
 """
 
 from __future__ import annotations
@@ -13,7 +20,10 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.experiments import format_table
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+# Both paths resolved, so relative_to() below stays valid when the
+# checkout is reached through a symlink.
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+SUMMARY_PATH = RESULTS_DIR.parent.parent / "BENCH_SUMMARY.json"
 
 
 def emit(name: str, rows: Sequence[Dict], title: str,
@@ -35,9 +45,47 @@ def emit_json(name: str, payload: Dict) -> pathlib.Path:
 
     Written next to the ``.txt`` tables under ``benchmarks/results/``,
     so CI and trend tooling can consume the numbers without parsing
-    the human-facing render.
+    the human-facing render.  The top-level ``BENCH_SUMMARY.json`` is
+    refreshed from the full results directory on every write.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    aggregate_summary()
     return path
+
+
+def aggregate_summary() -> pathlib.Path:
+    """Fold every ``results/*.json`` into the top-level summary.
+
+    The summary maps each bench name to its latest full payload plus a
+    flat ``speedups`` index (bench -> headline speedup, taken from the
+    payload's ``speedup`` key when present) so trend tooling can diff
+    the perf trajectory across PRs with one lookup.
+    """
+    benches: Dict[str, Dict] = {}
+    speedups: Dict[str, float] = {}
+    for path in sorted(RESULTS_DIR.glob("*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue  # half-written or foreign file: skip, don't die
+        if not isinstance(payload, dict):
+            continue
+        benches[path.stem] = payload
+        headline = payload.get("speedup")
+        if isinstance(headline, (int, float)):
+            speedups[path.stem] = headline
+    summary = {
+        "source": str(RESULTS_DIR.relative_to(SUMMARY_PATH.parent)),
+        "benches": benches,
+        "speedups": speedups,
+    }
+    SUMMARY_PATH.write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    )
+    return SUMMARY_PATH
+
+
+if __name__ == "__main__":
+    print(f"wrote {aggregate_summary()}")

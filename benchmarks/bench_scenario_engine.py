@@ -28,12 +28,12 @@ from repro.spt.bfs import bfs_distances
 from repro.spt.fastpaths import csr_bfs_distances
 
 try:
-    from _harness import emit
+    from _harness import emit, emit_json
 except ImportError:  # running standalone, not under benchmarks/conftest
     import pathlib
 
     sys.path.insert(0, str(pathlib.Path(__file__).parent))
-    from _harness import emit
+    from _harness import emit, emit_json
 
 
 def naive_scenario_loop(graph, s, t, scenarios):
@@ -126,6 +126,12 @@ def main(argv=None) -> int:
         "SCEN: batched scenario engine vs naive per-FaultView loop",
         notes=f"measured end-to-end speedup: {speedup:.1f}x",
     )
+    emit_json("scenario_engine", {
+        "bench": "scenario_engine",
+        "params": {"quick": args.quick, "seed": args.seed},
+        "rows": rows,
+        "speedup": speedup,
+    })
     if not args.quick and speedup < 3.0:
         print(f"FAIL: expected >= 3x, measured {speedup:.2f}x")
         return 1

@@ -67,6 +67,11 @@ def restoration_success_rate(scheme, pairs_with_faults,
     in to share its caches across schemes over the same graph), which
     amortises base BFS vectors and per-tree fault indices instead of
     rebuilding a :class:`~repro.graphs.views.FaultView` per instance.
+    The replacement-distance targets additionally flow through the
+    engine's :meth:`~repro.scenarios.engine.ScenarioEngine.evaluate_pairs`
+    grouping, so the sweep's many pairs per fault edge share one
+    masked multi-source wave (and, across schemes on a shared engine,
+    its ``(source, F)`` vector cache).
     """
     if engine is None:
         engine = ScenarioEngine(scheme.graph)

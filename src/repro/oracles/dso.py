@@ -24,9 +24,14 @@ All preprocessing runs through a :class:`ScenarioEngine` — one shared
 engine over the base graph (injectable, so a session already holding
 one pays nothing extra) plus one per preserver substrate — so the
 one-BFS-per-tree-edge loop is a batched scenario stream over a reused
-O(|F|) scratch mask rather than a fresh ad-hoc view per edge.  Query
-streams go through :meth:`SourcewiseDSO.query_many`, which hoists the
-per-query validation and dictionary plumbing out of the loop.
+O(|F|) scratch mask rather than a fresh ad-hoc view per edge.  On the
+shared-graph path the stream is additionally *transposed*: tree-edge
+scenarios are grouped across sources, so each fault edge is masked
+once and one bit-packed multi-source wave
+(:meth:`ScenarioEngine.source_vectors`) computes the replacement rows
+of every source whose tree contains that edge.  Query streams go
+through :meth:`SourcewiseDSO.query_many`, which hoists the per-query
+validation and dictionary plumbing out of the loop.
 """
 
 from __future__ import annotations
@@ -88,13 +93,23 @@ class SourcewiseDSO:
         self._rows: Dict[Tuple[int, Edge], List[int]] = {}
         self._preprocessed_edges = 0
         self._substrate_edges = 0
+
+        trees = {s: self._scheme.tree(s) for s in self._sources}
+        # Base rows for every source in one fault-free batch wave.
+        self._base_dist.update(zip(
+            self._sources, self._engine.source_vectors(self._sources)
+        ))
         for s in self._sources:
-            self._preprocess_source(s)
+            self._path_edges[s] = self._selected_path_edges(s, trees[s])
+        if use_preserver:
+            for s in self._sources:
+                self._preprocess_in_preserver(s, trees[s])
+        else:
+            self._preprocess_shared(trees)
 
     # ------------------------------------------------------------------
-    def _preprocess_source(self, s: int) -> None:
-        tree = self._scheme.tree(s)
-        self._base_dist[s] = self._engine.base_distances(s)
+    @staticmethod
+    def _selected_path_edges(s: int, tree) -> Dict[int, frozenset]:
         # edge sets of each selected path, built incrementally down
         # the tree (O(n * depth) total, shared via frozenset reuse)
         per_vertex: Dict[int, frozenset] = {s: frozenset()}
@@ -102,18 +117,39 @@ class SourcewiseDSO:
             p = tree.parent(v)
             if p is not None:
                 per_vertex[v] = per_vertex[p] | {canonical_edge(p, v)}
-        self._path_edges[s] = per_vertex
+        return per_vertex
 
-        if self._use_preserver:
-            substrate = ft_sv_preserver(self._scheme, [s], f=1).as_graph()
-            row_engine = ScenarioEngine(substrate)
-        else:
-            substrate = self._graph
-            row_engine = self._engine
+    def _preprocess_shared(self, trees) -> None:
+        """Replacement rows over the base graph, transposed per edge.
+
+        Sources sharing a tree edge share the scenario ``{e}``, so the
+        stream is grouped by edge: each edge is masked once and one
+        multi-source wave serves every source whose tree contains it
+        (a source's tree edges are exactly the faults that can change
+        its rows, so no source misses a needed row).
+        """
+        by_edge: Dict[Edge, List[int]] = {}
+        for s in self._sources:
+            for e in trees[s].edges():
+                by_edge.setdefault(e, []).append(s)
+        self._substrate_edges += self._graph.m * len(self._sources)
+        for e in sorted(by_edge):
+            edge_sources = by_edge[e]
+            rows = self._engine.source_vectors(edge_sources, (e,))
+            for s, row in zip(edge_sources, rows):
+                self._rows[(s, e)] = row
+                self._preprocessed_edges += 1
+
+    def _preprocess_in_preserver(self, s: int, tree) -> None:
+        """Replacement rows inside the source's own 1-FT preserver.
+
+        Each source has a private substrate graph here, so rows batch
+        per source (one scenario stream over the substrate's engine)
+        rather than across sources.
+        """
+        substrate = ft_sv_preserver(self._scheme, [s], f=1).as_graph()
+        row_engine = ScenarioEngine(substrate)
         self._substrate_edges += substrate.m
-        # One traversal per tree edge, batched as a scenario stream:
-        # the engine reuses one scratch arc mask, so each fault costs
-        # O(|F|) masking instead of a fresh O(m) view buffer.
         tree_edges = list(tree.edges())
         rows = row_engine.distance_vectors(
             s, [(e,) for e in tree_edges]

@@ -61,12 +61,14 @@ def preserver_violations(
     set sorted and deduplicated), regardless of the orientation/order
     it was supplied in.
     """
-    # Delegate to the batched engine: one CSR snapshot per graph and a
-    # reusable O(|F|) scratch mask per scenario, instead of a fresh
-    # FaultView + filtered BFS per (fault set, source).  Enumeration
-    # order is unchanged; note the engine reports each fault set in
-    # canonical form (sorted, deduplicated), so explicitly passed
-    # ``fault_sets`` entries may come back reordered.
+    # Delegate to the batched engine: one CSR snapshot per graph, a
+    # reusable O(|F|) scratch mask per scenario, and one bit-packed
+    # multi-source BFS wave per (scenario, graph) serving the whole
+    # source set, instead of a fresh FaultView + filtered BFS per
+    # (fault set, source).  Enumeration order is unchanged; note the
+    # engine reports each fault set in canonical form (sorted,
+    # deduplicated), so explicitly passed ``fault_sets`` entries may
+    # come back reordered.
     from repro.scenarios.engine import ScenarioEngine
 
     engine = ScenarioEngine(graph)

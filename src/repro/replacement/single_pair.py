@@ -68,7 +68,9 @@ class Candidate:
         return front.concat(Path([u, v])).concat(back)
 
 
-def candidate_sweep(graph, s: int, t: int, weight, scale: int
+def candidate_sweep(graph, s: int, t: int, weight, scale: int,
+                    trees: Optional[Tuple[ShortestPathTree,
+                                          ShortestPathTree]] = None
                     ) -> Tuple[Path, Dict[Edge, int]]:
     """Run the full candidate sweep for one pair.
 
@@ -82,6 +84,11 @@ def candidate_sweep(graph, s: int, t: int, weight, scale: int
     weight, scale:
         A unique-shortest-path arc weight function and its hop scale
         (e.g. an :class:`~repro.core.weights.AntisymmetricWeights`).
+    trees:
+        Optional precomputed ``(T_s, T_t)`` selected trees over
+        ``graph`` under ``weight`` — callers holding a batched kernel
+        (e.g. Algorithm 1's amortised per-pair Dijkstra batch) inject
+        them here; when absent the sweep computes both itself.
 
     Returns
     -------
@@ -90,8 +97,11 @@ def candidate_sweep(graph, s: int, t: int, weight, scale: int
         its edges ``e`` to ``dist_{G \\ e}(s, t)`` (``UNREACHABLE`` when
         ``e`` disconnects the pair).
     """
-    tree_s = ShortestPathTree.compute(graph, s, weight, scale)
-    tree_t = ShortestPathTree.compute(graph, t, weight, scale)
+    if trees is None:
+        tree_s = ShortestPathTree.compute(graph, s, weight, scale)
+        tree_t = ShortestPathTree.compute(graph, t, weight, scale)
+    else:
+        tree_s, tree_t = trees
     if not tree_s.reaches(t):
         raise GraphError(f"{s} and {t} are disconnected")
     base_path = tree_s.path_to(t)

@@ -29,7 +29,9 @@ from repro.exceptions import GraphError
 from repro.graphs.base import Edge, Graph
 from repro.replacement.single_pair import candidate_sweep
 from repro.core.scheme import RestorableTiebreaking
+from repro.spt.batched import csr_dijkstra_flat_many
 from repro.spt.paths import Path
+from repro.spt.trees import ShortestPathTree
 
 
 @dataclass
@@ -117,12 +119,23 @@ def subset_replacement_paths(
             if not trees[s1].reaches(s2):
                 continue
             union = _tree_union_graph(graph.n, trees[s1], trees[s2])
-            # Sweep over the union's CSR snapshot: the two Dijkstra
-            # runs and the arc scan take the array fast path, and with
-            # ATW weights (unique shortest paths) the selections are
-            # identical to sweeping the Graph directly.
+            # Flatten the scheme's tiebreaking weights into the union
+            # snapshot once, then compute both selected trees in one
+            # amortised flat-Dijkstra batch: the pair's two runs share
+            # the settled/tentative scratch and read weights by array
+            # index instead of one Python weight() call per arc.  ATW
+            # weights make shortest paths unique, so the selections
+            # are identical to sweeping the Graph directly.
+            wcsr = union.csr().with_arc_weights(weights.weight)
+            (d1, p1), (d2, p2) = csr_dijkstra_flat_many(
+                wcsr, None, [s1, s2]
+            )
             path, distances = candidate_sweep(
-                union.csr(), s1, s2, weights.weight, weights.scale
+                wcsr, s1, s2, wcsr.arc_weight, weights.scale,
+                trees=(
+                    ShortestPathTree(s1, p1, d1, weights.scale),
+                    ShortestPathTree(s2, p2, d2, weights.scale),
+                ),
             )
             key = (s1, s2)
             result.paths[key] = path

@@ -19,7 +19,18 @@ amortising everything that does not depend on the individual scenario:
 * a bounded LRU *scenario memo* for pair queries: sampled traffic
   streams repeat fault sets, and a repeat keyed by
   ``(s, t, canonical fault tuple)`` skips even the touch filter
-  (hit/miss counters via :meth:`ScenarioEngine.cache_info`).
+  (hit/miss/eviction counters via :meth:`ScenarioEngine.cache_info`);
+* a per-``(source, canonical fault tuple)`` *distance-vector cache*
+  sharing the same LRU (one eviction policy for both entry kinds):
+  streams that share a fault set across many pairs pay one masked
+  traversal per source, and later pairs are answered by indexing;
+* batched multi-source waves: :meth:`ScenarioEngine.source_vectors`
+  feeds every uncached source of one fault set to the bit-packed
+  multi-source kernels of :mod:`repro.spt.batched`, so one sweep over
+  the arc array serves the whole source batch, and
+  :meth:`ScenarioEngine.evaluate_pairs` groups an arbitrary
+  ``(s, t, F)`` pair stream by canonical fault set so each masked wave
+  serves every pair sharing that ``F``.
 
 The engine is weight-aware: handed a
 :class:`~repro.weighted.graph.WeightedGraph` (or any graph whose CSR
@@ -58,6 +69,10 @@ from repro.exceptions import GraphError
 from repro.graphs.base import Edge, Graph, canonical_edge
 from repro.graphs.csr import CSRFaultView, CSRGraph
 from repro.scenarios.enumerate import FaultSet, _canonical
+from repro.spt.batched import (
+    csr_bfs_distances_many,
+    csr_weighted_distances_many,
+)
 from repro.spt.bfs import UNREACHABLE
 from repro.spt.fastpaths import (
     csr_bfs_distances,
@@ -204,8 +219,17 @@ class ScenarioEngine:
         array the engine runs in weighted mode: distances are exact
         weighted distances via the flat Dijkstra kernels.
     memoize:
-        Capacity of the per-pair scenario memo (LRU, keyed by
-        ``(s, t, canonical fault tuple)``).  ``0`` disables it.
+        Capacity of the shared scenario memo (one LRU, one eviction
+        policy) holding both per-pair entries keyed
+        ``(s, t, canonical fault tuple)`` and per-source
+        distance-vector entries keyed ``(source, canonical fault
+        tuple)``.  ``0`` disables both.  The bound counts *entries*:
+        a pair entry is one int but a vector entry is an O(n) list,
+        so the worst-case footprint is ``memoize * n`` words — size
+        ``memoize`` down on memory-constrained deployments with
+        vector-heavy streams.  (Vectors handed to long-lived
+        consumers, e.g. DSO preprocessing rows, are aliased — the
+        cache holds a reference to the same list, not a copy.)
 
     Notes
     -----
@@ -231,13 +255,21 @@ class ScenarioEngine:
         )
         self._base_dist: Dict[int, List[int]] = {}
         self._tree_index: Dict[int, TreeFaultIndex] = {}
-        # Scenario memo: bounded LRU over pair replacement distances,
-        # so repeated fault sets in sampled streams skip even the
-        # touch filter.
-        self._memo: "OrderedDict[Tuple, int]" = OrderedDict()
+        # Scenario memo: one bounded LRU (one eviction policy) holding
+        # two entry kinds — pair replacement distances keyed
+        # (s, t, F) and per-source distance vectors keyed (s, F).
+        # Repeated fault sets in sampled streams skip even the touch
+        # filter, and pairs sharing (s, F) are answered by indexing a
+        # cached vector instead of re-traversing.  Key kinds are
+        # distinguished by tuple length (3 = pair, 2 = vector).
+        self._memo: "OrderedDict[Tuple, Any]" = OrderedDict()
         self._memo_max = max(0, memoize)
         self.cache_hits = 0
         self.cache_misses = 0
+        self.pair_evictions = 0
+        self.vector_hits = 0
+        self.vector_misses = 0
+        self.vector_evictions = 0
         # Perturbed-weight state (weighted mode): snapshot per seed,
         # SSSP result per (seed, source) — the amortised substrate of
         # restore_via_middle_edge over a scenario stream.
@@ -280,6 +312,19 @@ class ScenarioEngine:
     def _require_weighted(self, what: str) -> None:
         if not self.weighted:
             raise GraphError(f"{what} requires a weighted engine")
+
+    def _memo_put(self, key: Tuple, value) -> None:
+        """Insert into the shared LRU, evicting (and counting) overflow."""
+        if not self._memo_max:
+            return
+        self._memo[key] = value
+        self._memo.move_to_end(key)
+        if len(self._memo) > self._memo_max:
+            old_key, _ = self._memo.popitem(last=False)
+            if len(old_key) == 3:
+                self.pair_evictions += 1
+            else:
+                self.vector_evictions += 1
 
     # ------------------------------------------------------------------
     # amortised base state
@@ -411,10 +456,12 @@ class ScenarioEngine:
                                   faults: Iterable[Edge]) -> int:
         """``dist_{G \\ F}(s, t)``, skipping the traversal when it can.
 
-        Two amortisation layers fire before any per-scenario traversal:
-        the LRU memo (repeated fault sets in sampled streams are O(1))
-        and the touch filter (a fault set off every shortest path
-        returns the base distance in O(|F|)).
+        Three amortisation layers fire before any per-scenario
+        traversal: the LRU pair memo (repeated fault sets in sampled
+        streams are O(1)), a peek at the per-``(s, F)`` distance-vector
+        cache (a vector left behind by a batched wave answers by
+        indexing), and the touch filter (a fault set off every shortest
+        path returns the base distance in O(|F|)).
         """
         if not self.csr.has_vertex(t):
             raise GraphError(f"unknown target vertex {t}")
@@ -427,6 +474,16 @@ class ScenarioEngine:
                 self._memo.move_to_end(key)
                 return cached
             self.cache_misses += 1
+            vector = self._memo.get((s, fault_key), _MISS)
+            if vector is not _MISS:
+                # A batched wave already paid the traversal; index it.
+                # (A peek, not a vector-cache miss: pair queries do not
+                # populate vectors, so only hits are counted here.)
+                self.vector_hits += 1
+                self._memo.move_to_end((s, fault_key))
+                result = vector[t]
+                self._memo_put(key, result)
+                return result
         base = self.base_distances(s)[t]
         if not self.faults_touch_pair(s, t, fault_key):
             result = base
@@ -436,20 +493,39 @@ class ScenarioEngine:
                     result = csr_weighted_distance(self.csr, mask, s, t)
                 else:
                     result = csr_hop_distance(self.csr, mask, s, t)
-        if self._memo_max:
-            self._memo[key] = result
-            if len(self._memo) > self._memo_max:
-                self._memo.popitem(last=False)
+        self._memo_put((s, t, fault_key), result)
         return result
 
     def cache_info(self) -> Dict[str, int]:
-        """Scenario-memo counters: hits, misses, size, maxsize."""
+        """Counters for both kinds of entry in the shared LRU memo.
+
+        ``hits`` / ``misses`` / ``evictions`` cover the per-pair
+        ``(s, t, F)`` memo (names kept from PR 2 for back-compat);
+        ``vector_hits`` / ``vector_misses`` / ``vector_evictions``
+        cover the per-``(source, F)`` distance-vector cache.  ``size``
+        counts entries of both kinds; ``maxsize`` bounds their sum —
+        one eviction policy.
+        """
         return {
             "hits": self.cache_hits,
             "misses": self.cache_misses,
+            "evictions": self.pair_evictions,
+            "vector_hits": self.vector_hits,
+            "vector_misses": self.vector_misses,
+            "vector_evictions": self.vector_evictions,
             "size": len(self._memo),
             "maxsize": self._memo_max,
         }
+
+    def __repr__(self) -> str:
+        return (
+            f"ScenarioEngine(n={self.csr.n}, m={self.csr.m}, "
+            f"weighted={self.weighted}, "
+            f"pairs={self.cache_hits}h/{self.cache_misses}m/"
+            f"{self.pair_evictions}e, "
+            f"vectors={self.vector_hits}h/{self.vector_misses}m/"
+            f"{self.vector_evictions}e)"
+        )
 
     def replacement_distances(self, s: int, t: int,
                               scenarios: Iterable[Iterable[Edge]]
@@ -460,19 +536,160 @@ class ScenarioEngine:
             for faults in scenarios
         ]
 
+    def source_vectors(self, sources: Iterable[int],
+                       faults: Iterable[Edge] = ()) -> List[List[int]]:
+        """Distance vectors for many sources under *one* fault set.
+
+        The many-source primitive: every source missing from the
+        per-``(source, F)`` vector cache joins a single batched wave
+        (:func:`~repro.spt.batched.csr_bfs_distances_many`, or its
+        weighted sibling) under one shared arc mask, so one sweep over
+        the arc array serves the whole batch; cached sources are
+        answered without traversing at all.  Results align with the
+        input order (duplicates included, served once).
+
+        Returned vectors are **read-only**: they may be shared with the
+        engine's caches and with other callers.
+        """
+        sources = list(sources)
+        kernel = (csr_weighted_distances_many if self.weighted
+                  else csr_bfs_distances_many)
+        fault_key = _canonical(faults)
+        if not fault_key:
+            # The fault-free batch shares the unbounded base-distance
+            # cache instead of churning the LRU.
+            missing = [s for s in dict.fromkeys(sources)
+                       if s not in self._base_dist]
+            if missing:
+                rows = kernel(self.csr, None, missing)
+                self._base_dist.update(zip(missing, rows))
+            return [self.base_distances(s) for s in sources]
+        out: List[Optional[List[int]]] = [None] * len(sources)
+        pending: Dict[int, List[int]] = {}
+        for i, s in enumerate(sources):
+            if s in pending:
+                pending[s].append(i)
+                continue
+            if self._memo_max:
+                key = (s, fault_key)
+                cached = self._memo.get(key, _MISS)
+                if cached is not _MISS:
+                    self.vector_hits += 1
+                    self._memo.move_to_end(key)
+                    out[i] = cached
+                    continue
+                self.vector_misses += 1
+            pending[s] = [i]
+        if pending:
+            batch = list(pending)
+            with self._masked(fault_key) as mask:
+                rows = kernel(self.csr, mask, batch)
+            for s, row in zip(batch, rows):
+                self._memo_put((s, fault_key), row)
+                for i in pending[s]:
+                    out[i] = row
+        return out
+
+    def source_vector(self, source: int,
+                      faults: Iterable[Edge] = ()) -> List[int]:
+        """The cached (read-only) distance vector of one ``(s, F)``."""
+        return self.source_vectors([source], faults)[0]
+
+    def evaluate_pairs(self, queries: Iterable[Tuple[int, int,
+                                                     Iterable[Edge]]]
+                       ) -> List[int]:
+        """Batch ``dist_{G \\ F}(s, t)`` over an arbitrary pair stream.
+
+        Equivalent to mapping :meth:`pair_replacement_distance` over
+        the ``(s, t, faults)`` triples (and bit-identical to it), but
+        the stream is grouped by canonical fault set first: within one
+        group the pair memo, vector cache and touch filter are
+        consulted per pair as usual, and every pair still needing a
+        traversal then shares **one** masked multi-source wave — one
+        mask setup and one batched sweep serve all of the group's
+        sources, with each computed vector cached under ``(s, F)`` and
+        every answered pair memoised under ``(s, t, F)``.
+
+        Results align with the input order.
+        """
+        items: List[Tuple[int, int, FaultSet]] = []
+        for s, t, faults in queries:
+            if not self.csr.has_vertex(t):
+                raise GraphError(f"unknown target vertex {t}")
+            items.append((s, t, _canonical(faults)))
+        out: List[Optional[int]] = [None] * len(items)
+        groups: "OrderedDict[FaultSet, List[int]]" = OrderedDict()
+        for i, (_, _, fault_key) in enumerate(items):
+            groups.setdefault(fault_key, []).append(i)
+        kernel = (csr_weighted_distances_many if self.weighted
+                  else csr_bfs_distances_many)
+        for fault_key, idxs in groups.items():
+            pending: Dict[int, List[int]] = {}
+            for i in idxs:
+                s, t, _ = items[i]
+                if self._memo_max:
+                    key = (s, t, fault_key)
+                    cached = self._memo.get(key, _MISS)
+                    if cached is not _MISS:
+                        self.cache_hits += 1
+                        self._memo.move_to_end(key)
+                        out[i] = cached
+                        continue
+                    self.cache_misses += 1
+                    vector = self._memo.get((s, fault_key), _MISS)
+                    if vector is not _MISS:
+                        self.vector_hits += 1
+                        self._memo.move_to_end((s, fault_key))
+                        out[i] = vector[t]
+                        self._memo_put(key, out[i])
+                        continue
+                if not self.faults_touch_pair(s, t, fault_key):
+                    out[i] = self.base_distances(s)[t]
+                    self._memo_put((s, t, fault_key), out[i])
+                    continue
+                pending.setdefault(s, []).append(i)
+            if not pending:
+                continue
+            batch = list(pending)
+            if self._memo_max:
+                self.vector_misses += len(batch)
+            with self._masked(fault_key) as mask:
+                rows = kernel(self.csr, mask, batch)
+            for s, row in zip(batch, rows):
+                self._memo_put((s, fault_key), row)
+                for i in pending[s]:
+                    t = items[i][1]
+                    out[i] = row[t]
+                    self._memo_put((s, t, fault_key), row[t])
+        return out
+
+    def run_pairs(self, queries: Iterable[Tuple[int, int, Iterable[Edge]]]
+                  ) -> List[ScenarioResult]:
+        """:meth:`evaluate_pairs` wrapped as :class:`ScenarioResult`\\ s.
+
+        Each result's ``value`` is ``(s, t, dist)`` and its ``faults``
+        the canonical fault tuple, aligned with the input stream.
+        """
+        items = [(s, t, _canonical(f)) for s, t, f in queries]
+        values = self.evaluate_pairs(items)
+        return [
+            ScenarioResult(i, fault_key, (s, t, value))
+            for i, ((s, t, fault_key), value)
+            in enumerate(zip(items, values))
+        ]
+
     def distance_vectors(self, source: int,
                          scenarios: Iterable[Iterable[Edge]]
                          ) -> List[List[int]]:
-        """Full per-scenario distance vectors from ``source``."""
-        out = []
-        for faults in scenarios:
-            with self._masked(faults) as mask:
-                if self.weighted:
-                    out.append(csr_weighted_distances(self.csr, mask,
-                                                      source))
-                else:
-                    out.append(csr_bfs_distances(self.csr, mask, source))
-        return out
+        """Full per-scenario distance vectors from ``source``.
+
+        Served through the ``(source, F)`` vector cache, so repeated
+        fault sets in the stream cost one traversal.  Vectors are
+        read-only (see :meth:`source_vectors`).
+        """
+        return [
+            self.source_vector(source, faults) for faults in scenarios
+        ]
 
     def connectivity(self, scenarios: Iterable[Iterable[Edge]]
                      ) -> List[bool]:
@@ -518,11 +735,18 @@ class ScenarioEngine:
         For each instance the value is ``(target, result)`` — the true
         replacement distance and the naive (``F' = ∅``) midpoint-scan
         outcome, or ``None`` when the fault disconnects the pair.
+
+        The target distances run through :meth:`evaluate_pairs`, so
+        instances sharing a fault edge (a Figure-1 sweep queries many
+        pairs per edge) share one masked multi-source wave.
         """
         self._require_unweighted("restoration_sweep")
+        instances = list(instances)
+        targets = self.evaluate_pairs(
+            (s, t, (e,)) for s, t, e in instances
+        )
         out = []
-        for i, (s, t, e) in enumerate(instances):
-            target = self.pair_replacement_distance(s, t, (e,))
+        for i, ((s, t, e), target) in enumerate(zip(instances, targets)):
             if target == UNREACHABLE:
                 out.append(ScenarioResult(i, _canonical([e]), None))
                 continue
@@ -544,7 +768,10 @@ class ScenarioEngine:
         :func:`repro.preservers.verification.preserver_violations`:
         ``(faults, s, t, dist_G, dist_H)`` tuples, empty when ``H``
         preserves every queried distance in every scenario.  Both
-        ``G \\ F`` and ``H \\ F`` run on CSR snapshots built once.
+        ``G \\ F`` and ``H \\ F`` run on CSR snapshots built once, and
+        per scenario each snapshot is swept by **one** bit-packed
+        multi-source wave serving the whole source set, instead of one
+        BFS per source.
         """
         self._require_unweighted("preserver_violations")
         source_list = sorted(set(sources))
@@ -561,12 +788,14 @@ class ScenarioEngine:
             faults = _canonical(faults)
             with self._masked(faults) as g_mask, \
                     _scratch_masked(sub_csr, sub_scratch, faults) as h_mask:
-                for s in source_list:
-                    dist_g = csr_bfs_distances(self.csr, g_mask, s)
-                    dist_h = csr_bfs_distances(sub_csr, h_mask, s)
-                    for t in target_list:
-                        if t != s and dist_g[t] != dist_h[t]:
-                            bad.append((faults, s, t, dist_g[t], dist_h[t]))
+                g_rows = csr_bfs_distances_many(self.csr, g_mask,
+                                                source_list)
+                h_rows = csr_bfs_distances_many(sub_csr, h_mask,
+                                                source_list)
+            for s, dist_g, dist_h in zip(source_list, g_rows, h_rows):
+                for t in target_list:
+                    if t != s and dist_g[t] != dist_h[t]:
+                        bad.append((faults, s, t, dist_g[t], dist_h[t]))
         return bad
 
     # ------------------------------------------------------------------

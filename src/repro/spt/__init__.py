@@ -15,15 +15,25 @@ This package supplies everything the tiebreaking layer builds on:
   snapshots (:mod:`repro.graphs.csr`); the entry points above dispatch
   to them automatically for CSR inputs and keep the generic
   ``GraphLike`` loops as the reference implementation.
+* :mod:`~repro.spt.batched` — multi-source batch kernels: bit-packed
+  frontier BFS (one traversal wave serves many sources) and
+  scratch-reusing weighted batches; the many-source entry points in
+  :mod:`~repro.spt.apsp` and the scenario engine dispatch onto them.
 """
 
 from repro.spt.paths import Path
+from repro.spt.batched import (
+    csr_bfs_distances_many,
+    csr_dijkstra_flat_many,
+    csr_weighted_distances_many,
+)
 from repro.spt.bfs import bfs_distances, bfs_tree
 from repro.spt.dijkstra import dijkstra, count_min_weight_paths
 from repro.spt.trees import ShortestPathTree
 from repro.spt.apsp import (
     all_pairs_bfs_distances,
     diameter,
+    eccentricities,
     eccentricity,
 )
 
@@ -31,10 +41,14 @@ __all__ = [
     "Path",
     "bfs_distances",
     "bfs_tree",
+    "csr_bfs_distances_many",
+    "csr_dijkstra_flat_many",
+    "csr_weighted_distances_many",
     "dijkstra",
     "count_min_weight_paths",
     "ShortestPathTree",
     "all_pairs_bfs_distances",
     "diameter",
+    "eccentricities",
     "eccentricity",
 ]

@@ -29,6 +29,11 @@ Correctness contract, enforced by the randomized cross-check tests:
 All loops index plain Python lists of machine ints; the arc mask (a
 ``bytearray`` with one flag per directed arc) is consulted inline, so a
 fault scenario costs O(|F|) setup and zero per-arc canonicalisation.
+
+Every kernel here is *single-source*.  The batched multi-source
+siblings — bit-packed frontier BFS and scratch-reusing weighted
+batches, bit-identical to mapping these kernels over the source
+batch — live in :mod:`repro.spt.batched`.
 """
 
 from __future__ import annotations

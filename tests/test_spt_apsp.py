@@ -27,6 +27,12 @@ class TestApsp:
         rows = all_pairs_bfs_distances(g, sources=[1])
         assert set(rows) == {1}
 
+    def test_duplicate_sources_deduplicated_in_order(self):
+        g = generators.cycle(6)
+        rows = all_pairs_bfs_distances(g, sources=[4, 2, 4, 2, 4])
+        assert list(rows) == [4, 2]
+        assert rows[4][1] == 3
+
     def test_matrix_symmetric(self):
         g = generators.connected_erdos_renyi(20, 0.15, seed=3)
         mat = distance_matrix(g)
@@ -50,6 +56,13 @@ class TestEccentricity:
         g = Graph(3, [(0, 1)])
         with pytest.raises(GraphError):
             eccentricity(g, 0)
+
+    def test_disconnected_contract_consistent(self):
+        # max-valued helpers raise; distance-valued helpers encode -1.
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            diameter(g)
+        assert distance_matrix(g)[0][2] == -1
 
 
 class TestReplacementDistance:

@@ -196,7 +196,11 @@ class TestScenarioMemo:
         for _ in range(3):
             engine.pair_replacement_distance(0, wg.n - 1, [e])
         info = engine.cache_info()
-        assert info == {"hits": 0, "misses": 0, "size": 0, "maxsize": 0}
+        assert info == {
+            "hits": 0, "misses": 0, "evictions": 0,
+            "vector_hits": 0, "vector_misses": 0, "vector_evictions": 0,
+            "size": 0, "maxsize": 0,
+        }
 
 
 class TestAntisymmetricEngine:
