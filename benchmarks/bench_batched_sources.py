@@ -203,7 +203,7 @@ def run_experiment(quick: bool, seed: int):
         "many_source_speedup": many_speedup,
         "pair_stream_speedup": pair_speedup,
         "speedup": many_speedup,
-        "cache_info": cache,
+        "cache_info": dict(cache),  # CacheInfo -> plain dict for JSON
     }
     return rows, payload, many_speedup, pair_speedup
 

@@ -1,0 +1,215 @@
+"""QUERY — the batching planner vs per-call engine methods.
+
+One experiment, the PR-4 acceptance bar: a **mixed** declarative
+stream (``DistanceQuery`` pairs + ``VectorQuery`` +
+``EccentricityQuery`` probes, many queries sharing each fault set) is
+answered two ways:
+
+* **per-method baseline** — each query issued through the engine's
+  per-call surface (``pair_replacement_distance`` / ``source_vector``)
+  on a fresh engine: every layer PR 1–3 built (memo, vector cache,
+  touch filter) is active, but nothing groups *across* queries.
+* **planner** — the same stream through a
+  :class:`repro.query.Session`: the planner groups by canonical fault
+  set, answers what the caches/filter can, and serves each group's
+  remainder with one masked multi-source wave — waved from the
+  *target* side here, because the monitored workload is skewed (many
+  sources, few targets), so the cheapest wave starts from the targets.
+
+Answers are asserted equal before any timing is trusted, and the
+stream is built so every pair's fault provably touches the pair (the
+touch filter cannot shortcut either side): the measured gap is
+batching, not filtering.  Acceptance target: **>= 2x** on a ~5k-query
+stream, with at least one group planned target-side.
+
+Run standalone (CI smoke: ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_query_planner.py [--quick]
+
+Results are persisted human-readable (``results/query_planner.txt``),
+machine-readable (``results/query_planner.json``), and aggregated into
+the top-level ``BENCH_SUMMARY.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.analysis.experiments import timed
+from repro.graphs import generators
+from repro.query import (
+    DistanceQuery,
+    EccentricityQuery,
+    Session,
+    VectorQuery,
+)
+from repro.scenarios import ScenarioEngine
+from repro.spt.bfs import UNREACHABLE, bfs_distances
+
+try:
+    from _harness import emit, emit_json
+except ImportError:  # running standalone, not under benchmarks/conftest
+    import pathlib
+
+    sys.path.insert(0, str(pathlib.Path(__file__).parent))
+    from _harness import emit, emit_json
+
+
+def build_stream(graph, num_faults: int, num_sources: int,
+                 num_targets: int, pairs_per_fault: int, seed: int):
+    """A mixed query stream shaped like a monitoring deployment.
+
+    Many monitored sources, few monitored targets (the skew that makes
+    target-side waving pay), fault scenarios of **two** *core* links
+    each — the edges lying on the most monitored shortest paths, found
+    by scoring each edge with the exact arithmetic of the engine's
+    touch filter — and per fault set a couple of vector/eccentricity
+    probes from the target set.  Every emitted pair query's fault set
+    touches the pair, so neither path can shortcut it.
+    """
+    rng = random.Random(seed)
+    vertices = rng.sample(range(graph.n), num_sources + num_targets)
+    sources = vertices[:num_sources]
+    targets = vertices[num_sources:]
+    dist = {v: bfs_distances(graph, v) for v in vertices}
+
+    def touched_pairs(e):
+        u, v = e
+        out = []
+        for s in sources:
+            ds_u, ds_v = dist[s][u], dist[s][v]
+            for t in targets:
+                base = dist[s][t]
+                if base < 0:
+                    continue
+                dt_u, dt_v = dist[t][u], dist[t][v]
+                if ((ds_u >= 0 and dt_v >= 0 and ds_u + 1 + dt_v == base)
+                        or (ds_v >= 0 and dt_u >= 0
+                            and ds_v + 1 + dt_u == base)):
+                    out.append((s, t))
+        return out
+
+    touched = {e: touched_pairs(e) for e in sorted(graph.edges())}
+    core = sorted(touched, key=lambda e: (-len(touched[e]), e))
+    core = [e for e in core if touched[e]][:max(4, num_faults // 3)]
+    fault_sets = set()
+    while len(fault_sets) < num_faults and len(core) >= 2:
+        pair = tuple(sorted(rng.sample(core, 2)))
+        fault_sets.add(pair)
+        if len(fault_sets) >= len(core) * (len(core) - 1) // 2:
+            break
+    stream = []
+    for faults in sorted(fault_sets):
+        pairs = sorted(set(touched[faults[0]]) | set(touched[faults[1]]))
+        for s, t in rng.sample(pairs, min(pairs_per_fault, len(pairs))):
+            stream.append(DistanceQuery(s, t, faults))
+        stream.append(VectorQuery(targets[0], faults))
+        stream.append(EccentricityQuery(targets[-1], faults))
+    rng.shuffle(stream)  # interleave fault sets like real traffic
+    return stream
+
+
+def per_method_loop(engine: ScenarioEngine, stream):
+    """The baseline: the per-call engine surface, one query at a time."""
+    out = []
+    for q in stream:
+        if isinstance(q, DistanceQuery):
+            out.append(
+                engine.pair_replacement_distance(q.source, q.target,
+                                                 q.faults)
+            )
+        elif isinstance(q, VectorQuery):
+            out.append(engine.source_vector(q.source, q.faults))
+        else:  # EccentricityQuery
+            vec = engine.source_vector(q.source, q.faults)
+            out.append(UNREACHABLE if UNREACHABLE in vec else max(vec))
+    return out
+
+
+def run_experiment(quick: bool, seed: int):
+    if quick:
+        n, num_faults, num_sources, num_targets, per_fault = \
+            150, 10, 8, 3, 12
+    else:
+        n, num_faults, num_sources, num_targets, per_fault = \
+            600, 60, 100, 10, 84
+    graph = generators.connected_erdos_renyi(n, 4.0 / n, seed=seed)
+    stream = build_stream(graph, num_faults, num_sources, num_targets,
+                          per_fault, seed + 1)
+
+    loop_engine = ScenarioEngine(graph)
+    loop, loop_s = timed(per_method_loop, loop_engine, stream)
+
+    session = Session(graph)
+    plan = session.planner.plan(stream)
+    target_side_groups = sum(1 for g in plan.groups if g.side == "target")
+    answers, plan_s = timed(session.answer, stream)
+    planned = [a.value for a in answers]
+
+    if planned != loop:
+        raise AssertionError(
+            "planner answers diverge from the per-call engine path"
+        )
+
+    speedup = loop_s / plan_s
+    rows = [
+        {"strategy": "per-call engine methods", "n": graph.n,
+         "m": graph.m, "queries": len(stream), "seconds": loop_s,
+         "speedup": 1.0},
+        {"strategy": "Session planner (grouped waves)", "n": graph.n,
+         "m": graph.m, "queries": len(stream), "seconds": plan_s,
+         "speedup": speedup},
+    ]
+    payload = {
+        "bench": "query_planner",
+        "params": {"quick": quick, "seed": seed, "n": graph.n,
+                   "fault_sets": num_faults, "sources": num_sources,
+                   "targets": num_targets},
+        "rows": rows,
+        "queries": len(stream),
+        "groups": len(plan.groups),
+        "target_side_groups": target_side_groups,
+        "speedup": speedup,
+        "session_stats": vars(session.stats),
+        "cache_info": dict(session.cache_info()),
+    }
+    return rows, payload, speedup, target_side_groups, len(stream)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small smoke run (CI): tiny graph, no "
+                             "speedup assertion")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    rows, payload, speedup, target_groups, n_queries = run_experiment(
+        args.quick, args.seed
+    )
+    emit(
+        "query_planner", rows,
+        "QUERY: batching planner vs per-call engine methods "
+        "(mixed pair/vector/eccentricity stream)",
+        notes=(
+            f"speedup: {speedup:.1f}x on {n_queries} mixed queries "
+            f"(target >= 2x); {target_groups} groups waved from the "
+            f"target side; answers asserted equal to the per-call path"
+        ),
+    )
+    emit_json("query_planner", payload)
+    failed = []
+    if not args.quick and speedup < 2.0:
+        failed.append(f"expected >= 2x, measured {speedup:.2f}x")
+    if not args.quick and target_groups == 0:
+        failed.append("no group was planned target-side on a skewed "
+                      "monitored workload")
+    for line in failed:
+        print(f"FAIL: {line}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -102,7 +102,7 @@ def run_experiment(n: int = 600, num_scenarios: int = 1000,
                    "seed": seed},
         "rows": rows,
         "speedup": naive_s / engine_s,
-        "cache_info": engine.cache_info(),
+        "cache_info": dict(engine.cache_info()),  # CacheInfo -> JSON
     }
     return rows, payload, naive_s / engine_s
 

@@ -17,8 +17,13 @@ Run:  PYTHONPATH=src python examples/batch_scenarios.py
 from repro.analysis.experiments import format_table, timed
 from repro.core.scheme import RestorableTiebreaking
 from repro.graphs import generators
+from repro.query import (
+    ConnectivityQuery,
+    DistanceQuery,
+    RestorationQuery,
+    Session,
+)
 from repro.scenarios import (
-    ScenarioEngine,
     random_fault_sets,
     single_edge_faults,
     tree_edge_faults,
@@ -32,7 +37,9 @@ def main() -> None:
     graph = generators.connected_erdos_renyi(150, 1.2 / 150, seed=5)
     print(f"network: sparse ER, n={graph.n}, m={graph.m}")
 
-    engine = ScenarioEngine(graph)
+    # The session owns the scenario engine; since PR 4 queries go in as
+    # typed objects and the planner picks the batched kernels.
+    session = Session(graph)
     s = 0
     dist_from_s = bfs_distances(graph, s)
     t = max(graph.vertices(),  # monitored pair: farthest from s
@@ -44,7 +51,10 @@ def main() -> None:
     print(f"scenario stream: {len(scenarios)} fault sets")
 
     # --- batched replacement distances --------------------------------
-    dists, secs = timed(engine.replacement_distances, s, t, scenarios)
+    answers, secs = timed(
+        session.answer, [DistanceQuery(s, t, f) for f in scenarios]
+    )
+    dists = [a.value for a in answers]
     base = bfs_distances(graph, s)[t]
     degraded = sum(1 for d in dists if d != base)
     print(
@@ -54,7 +64,11 @@ def main() -> None:
     print(f"  base distance {base}; {degraded} scenarios degrade it")
 
     # --- batched connectivity -----------------------------------------
-    alive = engine.connectivity(scenarios)
+    alive = [
+        a.value for a in session.answer(
+            ConnectivityQuery(f) for f in scenarios
+        )
+    ]
     print(f"  {sum(alive)}/{len(scenarios)} scenarios stay connected")
 
     # --- adversarial scenarios: faults on the selected tree ----------
@@ -64,8 +78,8 @@ def main() -> None:
         f"\nadversarial stream: {len(adversarial)} tree-edge faults "
         f"(every one hits a selected path)"
     )
-    sweep = engine.restoration_sweep(
-        scheme, [(s, t, f[0]) for f in adversarial]
+    sweep = session.answer(
+        (RestorationQuery(s, t, f) for f in adversarial), scheme=scheme
     )
     restored = disconnected = 0
     for item in sweep:

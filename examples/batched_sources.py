@@ -8,19 +8,20 @@ batching the *sources*.  Two workload shapes:
 * **APSP on a faulted snapshot** — distance vectors from every vertex
   of ``G \\ F`` in one bit-packed multi-source BFS wave
   (one Python int per vertex carries one frontier bit per source).
-* **a replacement-path pair stream** — ``(s, t, F)`` queries where
-  many pairs share each fault set, served by
-  :meth:`~repro.scenarios.engine.ScenarioEngine.run_pairs`: the stream
-  is grouped by canonical fault set, each group pays one masked wave,
-  and the per-``(source, F)`` vectors it computes stay cached for
-  later queries (one LRU shared with the per-pair memo).
+* **a replacement-path pair stream** — ``DistanceQuery`` objects where
+  many pairs share each fault set, served through a
+  :class:`~repro.query.session.Session` (PR 4): the planner groups the
+  stream by canonical fault set, each group pays one masked wave, and
+  the per-``(source, F)`` vectors it computes stay cached for later
+  queries (one LRU shared with the per-pair memo).
 
 Run:  PYTHONPATH=src python examples/batched_sources.py
 """
 
 from repro.analysis.experiments import format_table, timed
 from repro.graphs import generators
-from repro.scenarios import ScenarioEngine, random_fault_sets
+from repro.query import DistanceQuery, Session
+from repro.scenarios import random_fault_sets
 from repro.spt.apsp import all_pairs_bfs_distances, diameter
 from repro.spt.bfs import bfs_distances
 from repro.spt.fastpaths import csr_bfs_distances
@@ -53,7 +54,10 @@ def main() -> None:
     )
 
     # --- a pair stream sharing fault sets across pairs ---------------
-    engine = ScenarioEngine(graph)
+    # Since PR 4 the stream goes in as typed queries through a Session;
+    # the planner does the grouping evaluate_pairs used to hand-roll.
+    session = Session(graph)
+    engine = session.engine
     monitored = [(s, t) for s in (0, 7, 19, 42) for t in (377, 398, 251)]
     # Adversarial scenarios: faults on the selected shortest-path tree
     # of a monitored source actually reroute traffic, unlike random
@@ -66,41 +70,43 @@ def main() -> None:
     )
     scenarios = [(e,) for e in tree_edges[:30]]
     scenarios += random_fault_sets(graph, 2, 10, seed=3)
-    stream = [(s, t, f) for f in scenarios for (s, t) in monitored]
+    stream = [
+        DistanceQuery(s, t, f) for f in scenarios for (s, t) in monitored
+    ]
     print(f"\npair stream: {len(stream)} queries "
           f"({len(scenarios)} fault sets x {len(monitored)} monitored "
           f"pairs)")
 
-    results, secs = timed(engine.run_pairs, stream)
+    results, secs = timed(session.answer, stream)
     degraded = sum(
         1 for r in results
-        if r.value[2] != engine.base_distances(r.value[0])[r.value[1]]
+        if r.value != engine.base_distances(r.query.source)[r.query.target]
     )
     print(f"  served in {secs * 1e3:.1f} ms; {degraded} queries see a "
           f"degraded route")
-    info = engine.cache_info()
-    print(f"  shared LRU: {info['size']} entries "
-          f"(pair memo {info['hits']}h/{info['misses']}m, "
-          f"vector cache {info['vector_hits']}h/"
-          f"{info['vector_misses']}m)")
+    info = engine.cache_info()  # a frozen CacheInfo dataclass since PR 4
+    print(f"  shared LRU: {info.size} entries "
+          f"(pair memo {info.hits}h/{info.misses}m, "
+          f"vector cache {info.vector_hits}h/"
+          f"{info.vector_misses}m)")
     print(f"  engine: {engine!r}")
 
     # Re-running the same stream is almost free: every (s, t, F) is in
     # the pair memo now.
-    _, resecs = timed(engine.evaluate_pairs, stream)
+    _, resecs = timed(session.answer, stream)
     print(f"  replay: {resecs * 1e3:.1f} ms "
           f"({secs / max(resecs, 1e-9):.0f}x faster, all memo hits)")
 
     # --- worst degradations ------------------------------------------
     rows = [
         {
-            "pair": f"({r.value[0]}, {r.value[1]})",
-            "faults": str(list(r.faults)),
-            "dist": r.value[2],
-            "base": engine.base_distances(r.value[0])[r.value[1]],
+            "pair": f"({r.query.source}, {r.query.target})",
+            "faults": str(list(r.query.faults)),
+            "dist": r.value,
+            "base": engine.base_distances(r.query.source)[r.query.target],
         }
         for r in results
-        if r.value[2] != engine.base_distances(r.value[0])[r.value[1]]
+        if r.value != engine.base_distances(r.query.source)[r.query.target]
     ]
     for row in rows:
         row["stretch"] = (row["dist"] - row["base"]

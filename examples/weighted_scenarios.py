@@ -15,7 +15,8 @@ Run:  PYTHONPATH=src python examples/weighted_scenarios.py
 """
 
 from repro.analysis.experiments import format_table, timed
-from repro.scenarios import ScenarioEngine, random_fault_sets, single_edge_faults
+from repro.query import ConnectivityQuery, DistanceQuery, Session
+from repro.scenarios import random_fault_sets, single_edge_faults
 from repro.spt.bfs import UNREACHABLE
 from repro.weighted import WeightedGraph, restore_via_middle_edge
 
@@ -27,7 +28,10 @@ def main() -> None:
     print(f"network: weighted sparse ER, n={wg.n}, m={wg.m}, "
           f"total weight {wg.total_weight()}")
 
-    engine = ScenarioEngine(wg)
+    # The session builds (and owns) the weighted scenario engine; the
+    # restoration sweep below shares it via session.engine.
+    session = Session(wg)
+    engine = session.engine
     s = 0
     dist_from_s = engine.base_distances(s)
     t = max(range(wg.n),  # monitored pair: farthest from s
@@ -43,19 +47,26 @@ def main() -> None:
           f"(double faults sampled twice each)")
 
     # --- batched weighted replacement distances -----------------------
-    dists, secs = timed(engine.replacement_distances, s, t, scenarios)
+    answers, secs = timed(
+        session.answer, [DistanceQuery(s, t, f) for f in scenarios]
+    )
+    dists = [a.value for a in answers]
     degraded = sum(1 for d in dists if d != base)
     cut = sum(1 for d in dists if d == UNREACHABLE)
-    info = engine.cache_info()
+    info = session.cache_info()  # a frozen CacheInfo dataclass (PR 4)
     print(
         f"\nreplacement distances: {secs * 1e3:.1f} ms for the stream; "
         f"{degraded} scenarios degrade the route, {cut} cut it"
     )
-    print(f"  scenario memo: {info['hits']} hits / "
-          f"{info['misses']} misses (size {info['size']})")
+    print(f"  scenario memo: {info.hits} hits / "
+          f"{info.misses} misses (size {info.size})")
 
     # --- batched connectivity -----------------------------------------
-    alive = engine.connectivity(scenarios)
+    alive = [
+        a.value for a in session.answer(
+            ConnectivityQuery(f) for f in scenarios
+        )
+    ]
     print(f"  {sum(alive)}/{len(scenarios)} scenarios keep the "
           f"network connected")
 

@@ -20,6 +20,11 @@ restorable tiebreaking schemes and every application built on them:
   constructions of Section 4.5.
 * :mod:`repro.analysis` — theoretical bound formulas and the shared
   experiment harness behind the benchmarks.
+* :mod:`repro.scenarios` — the batched fault-scenario engine (the
+  kernel layer: one base graph, many fault sets).
+* :mod:`repro.query` — the declarative query API over it: typed
+  queries, a batching planner, and the :class:`Session` facade (the
+  preferred entry point for query streams).
 
 Quickstart
 ----------
@@ -38,6 +43,7 @@ from repro.exceptions import (
     DisconnectedError,
     GraphError,
     LabelingError,
+    QueryError,
     ReproError,
     RestorationError,
     TiebreakingError,
@@ -60,6 +66,16 @@ from repro.replacement import subset_replacement_paths
 from repro.preservers import Preserver, ft_ss_preserver, ft_sv_preserver
 from repro.spanners import Spanner, ft_plus4_spanner
 from repro.labeling import DistanceLabeling
+from repro.query import (
+    Answer,
+    ConnectivityQuery,
+    DistanceQuery,
+    EccentricityQuery,
+    PairQuery,
+    RestorationQuery,
+    Session,
+    VectorQuery,
+)
 
 __version__ = "1.0.0"
 
@@ -73,6 +89,7 @@ __all__ = [
     "RestorationError",
     "CongestError",
     "LabelingError",
+    "QueryError",
     # substrate
     "Graph",
     "FaultView",
@@ -98,4 +115,13 @@ __all__ = [
     "Spanner",
     "ft_plus4_spanner",
     "DistanceLabeling",
+    # the declarative query API
+    "Session",
+    "Answer",
+    "DistanceQuery",
+    "PairQuery",
+    "VectorQuery",
+    "EccentricityQuery",
+    "ConnectivityQuery",
+    "RestorationQuery",
 ]

@@ -12,9 +12,10 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
-from repro.exceptions import GraphError
 from repro.graphs import generators
 from repro.core.scheme import BFSTiebreaking, RestorableTiebreaking
+from repro.query.queries import RestorationQuery
+from repro.query.session import Session
 from repro.scenarios.engine import ScenarioEngine
 
 
@@ -52,7 +53,8 @@ def format_table(rows: Sequence[Dict], columns: Optional[Sequence[str]] = None,
 # Figure 1 — tiebreaking sensitivity
 # ----------------------------------------------------------------------
 def restoration_success_rate(scheme, pairs_with_faults,
-                             engine: Optional[ScenarioEngine] = None
+                             engine: Optional[ScenarioEngine] = None,
+                             session: Optional[Session] = None
                              ) -> Dict[str, int]:
     """Count midpoint-scan (F' = ∅) successes/failures for a scheme.
 
@@ -62,29 +64,31 @@ def restoration_success_rate(scheme, pairs_with_faults,
     avoiding ``e`` is longer than the true replacement distance (or no
     midpoint survives).
 
-    The instance stream is batched through a
-    :class:`~repro.scenarios.engine.ScenarioEngine` (one may be passed
-    in to share its caches across schemes over the same graph), which
-    amortises base BFS vectors and per-tree fault indices instead of
-    rebuilding a :class:`~repro.graphs.views.FaultView` per instance.
-    The replacement-distance targets additionally flow through the
-    engine's :meth:`~repro.scenarios.engine.ScenarioEngine.evaluate_pairs`
-    grouping, so the sweep's many pairs per fault edge share one
-    masked multi-source wave (and, across schemes on a shared engine,
-    its ``(source, F)`` vector cache).
+    The instance stream is submitted as
+    :class:`~repro.query.queries.RestorationQuery` objects through a
+    :class:`~repro.query.session.Session` (one may be passed in to
+    share its caches across schemes over the same graph — ``engine``
+    is the pre-PR-4 spelling, wrapped on sight), which amortises base
+    BFS vectors and per-tree fault indices instead of rebuilding a
+    :class:`~repro.graphs.views.FaultView` per instance, and groups
+    the sweep's many pairs per fault edge onto one masked multi-source
+    wave (sharing the ``(source, F)`` vector cache across schemes on
+    a shared session).
     """
-    if engine is None:
-        engine = ScenarioEngine(scheme.graph)
-    elif engine.graph is not scheme.graph:
-        raise GraphError(
-            "engine and scheme must share the same base graph "
-            "(engine caches would silently answer for the wrong graph)"
-        )
+    # Session.adopt enforces the sharing contract: the passed session
+    # or engine must cover the scheme's base graph (GraphError
+    # otherwise — caches would silently answer for the wrong graph),
+    # and passing both only works when they agree.
+    session = Session.adopt(scheme.graph, engine=engine, session=session)
+    answers = session.answer(
+        (RestorationQuery(s, t, (e,)) for s, t, e in pairs_with_faults),
+        scheme=scheme,
+    )
     counts = {"instances": 0, "successes": 0, "failures": 0}
-    for item in engine.restoration_sweep(scheme, pairs_with_faults):
-        if item.value is None:
+    for answer in answers:
+        if answer.value is None:
             continue  # fault disconnects the pair; nothing to restore
-        target, result = item.value
+        target, result = answer.value
         counts["instances"] += 1
         if result is not None and result.path.hops == target:
             counts["successes"] += 1
@@ -116,13 +120,14 @@ def figure1_experiment(families: Sequence[str], size: int,
     rows = []
     for family in families:
         graph = generators.by_name(family, size, seed=seed)
-        engine = ScenarioEngine(graph)  # shared across the two schemes
+        session = Session(graph)  # shared across the two schemes
         for name, scheme in (
             ("bfs-lex", BFSTiebreaking(graph)),
             ("restorable", RestorableTiebreaking.build(graph, f=1, seed=seed)),
         ):
             instances = sensitivity_instances(graph, scheme, limit=limit)
-            counts = restoration_success_rate(scheme, instances, engine=engine)
+            counts = restoration_success_rate(scheme, instances,
+                                              session=session)
             total = max(counts["instances"], 1)
             rows.append({
                 "family": family,

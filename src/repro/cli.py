@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands, each a thin veneer over the library:
+Five commands, each a thin veneer over the library:
 
 * ``demo`` — the quickstart flow on a built-in graph (or an edge-list
   file): select, break, restore, report.
@@ -10,6 +10,13 @@ Four commands, each a thin veneer over the library:
   (or save) its edges, with optional verification.
 * ``labels`` — build a fault-tolerant distance labeling and report
   label sizes against the Theorem-30 bound.
+* ``query`` — drive a mixed declarative query stream (pairs, vectors,
+  eccentricities, connectivity) through a :mod:`repro.query` session
+  and report what the planner batched, cached, and filtered.
+
+Graph-construction errors (:class:`~repro.exceptions.GraphError`)
+exit 2 with a one-line message on stderr — the argparse convention —
+never a traceback.
 """
 
 from __future__ import annotations
@@ -18,23 +25,33 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.exceptions import GraphError
 from repro.graphs import generators
 from repro.graphs.base import Graph
 from repro.graphs.io import read_edgelist
 
+#: The one source of truth for --family choices, shared by every
+#: subcommand (previously spelled per subparser) and kept in lockstep
+#: with ``generators.by_name``.
+FAMILIES = generators.FAMILIES
+
 
 def _load_graph(args) -> Graph:
     if args.input:
-        return read_edgelist(args.input)
+        try:
+            return read_edgelist(args.input)
+        except OSError as exc:
+            # A missing/unreadable file is a usage error like any
+            # other bad graph input: surface it through the same
+            # exit-2 path instead of a traceback.
+            raise GraphError(f"cannot read {args.input}: {exc}") from exc
     return generators.by_name(args.family, args.size, seed=args.seed)
 
 
 def _add_graph_args(parser) -> None:
     parser.add_argument("--input", help="edge-list file (overrides family)")
     parser.add_argument(
-        "--family", default="er",
-        choices=["er", "grid", "torus", "hypercube", "cycle", "path",
-                 "complete"],
+        "--family", default="er", choices=FAMILIES,
         help="built-in graph family (default: er)",
     )
     parser.add_argument("--size", type=int, default=20,
@@ -131,6 +148,65 @@ def cmd_labels(args) -> int:
     return 0
 
 
+def cmd_query(args) -> int:
+    import random
+
+    from repro.query import (
+        ConnectivityQuery,
+        DistanceQuery,
+        EccentricityQuery,
+        Session,
+        VectorQuery,
+    )
+    from repro.scenarios import random_fault_sets
+
+    graph = _load_graph(args)
+    session = Session(graph)
+    rng = random.Random(args.seed)
+    vertices = sorted(graph.vertices())
+    pairs = [
+        (rng.choice(vertices), rng.choice(vertices))
+        for _ in range(args.pairs)
+    ]
+    scenarios = random_fault_sets(
+        graph, args.faults, args.scenarios, seed=args.seed
+    )
+    probe = vertices[0]
+    for faults in scenarios:
+        session.submit(DistanceQuery(s, t, faults) for s, t in pairs)
+        session.submit(
+            VectorQuery(probe, faults),
+            EccentricityQuery(probe, faults),
+            ConnectivityQuery(faults),
+        )
+    print(f"graph: n={graph.n}, m={graph.m}")
+    print(f"query stream: {session.pending} queries "
+          f"({len(scenarios)} fault sets x {len(pairs)} monitored pairs "
+          f"+ vector/eccentricity/connectivity probes)")
+    answers = session.gather()
+    degraded = sum(
+        1 for a in answers
+        if isinstance(a.query, DistanceQuery)
+        and a.value != session.engine.base_distances(a.query.source)[
+            a.query.target]
+    )
+    cut = sum(
+        1 for a in answers
+        if isinstance(a.query, ConnectivityQuery) and not a.value
+    )
+    st = session.stats
+    print(f"answers: {st.cache} cache / {st.filter} filter / "
+          f"{st.wave} wave (served by {st.waves} batched waves)")
+    print(f"degraded monitored-pair answers: {degraded}; "
+          f"disconnecting fault sets: {cut}/{len(scenarios)}")
+    info = session.cache_info()
+    print(f"engine LRU: {info.size} entries, pair memo "
+          f"{info.hits}h/{info.misses}m, vector cache "
+          f"{info.vector_hits}h/{info.vector_misses}m")
+    print(f"session: {session!r}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -164,12 +240,30 @@ def build_parser() -> argparse.ArgumentParser:
     labels.add_argument("--faults", type=int, default=1)
     labels.set_defaults(fn=cmd_labels)
 
+    query = sub.add_parser(
+        "query", help="drive a declarative query stream through a session"
+    )
+    _add_graph_args(query)
+    query.add_argument("--pairs", type=int, default=12,
+                       help="monitored (s, t) pairs (default: 12)")
+    query.add_argument("--scenarios", type=int, default=10,
+                       help="random fault sets (default: 10)")
+    query.add_argument("--faults", type=int, default=1,
+                       help="faults per scenario (default: 1)")
+    query.set_defaults(fn=cmd_query)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except GraphError as exc:
+        # Bad graph input (unknown family, malformed edge list, ...)
+        # is a usage error: exit 2 with a message, never a traceback.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

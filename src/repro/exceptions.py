@@ -17,6 +17,9 @@ subclasses partition errors by subsystem:
   sent to a non-neighbour, ...).
 * :class:`LabelingError` — a fault-tolerant distance label failed to
   decode or a query referenced a vertex outside the labeled graph.
+* :class:`QueryError` — a declarative query stream was malformed
+  (mixed weightedness, unknown vertices, a query kind the session
+  cannot serve); raised by :mod:`repro.query` before any kernel runs.
 """
 
 from __future__ import annotations
@@ -66,3 +69,13 @@ class CongestError(ReproError):
 
 class LabelingError(ReproError):
     """A distance label could not be encoded, decoded, or queried."""
+
+
+class QueryError(ReproError):
+    """A declarative query stream (:mod:`repro.query`) was malformed.
+
+    Raised during planning — before any kernel runs — so a bad stream
+    (mixed weighted/unweighted queries, an unknown vertex, a
+    restoration query without a scheme) never silently gets served by
+    the wrong kernel.
+    """

@@ -220,12 +220,18 @@ def fault_sample(graph: Graph, count: int, seed: int = 0,
     return out
 
 
-def by_name(name: str, n: int, seed: int = 0, p: Optional[float] = None) -> Graph:
-    """Dispatch helper used by the benchmark harness.
+# Every family by_name() dispatches — the one constant the CLI and the
+# benchmark harness share for their --family choices.
+FAMILIES = ("er", "grid", "torus", "hypercube", "cycle", "path",
+            "complete", "star", "petersen")
 
-    ``name`` is one of ``er``, ``grid``, ``torus``, ``hypercube``,
-    ``cycle``, ``path``, ``complete``.  ``n`` is interpreted per family
-    (side length for grid/torus, dimension for hypercube).
+
+def by_name(name: str, n: int, seed: int = 0, p: Optional[float] = None) -> Graph:
+    """Dispatch helper used by the CLI and the benchmark harness.
+
+    ``name`` is one of :data:`FAMILIES`.  ``n`` is interpreted per
+    family (side length for grid/torus, dimension for hypercube,
+    ignored by the fixed-size petersen graph).
     """
     if name == "er":
         return connected_erdos_renyi(n, p if p is not None else 4.0 / n, seed)
@@ -241,4 +247,9 @@ def by_name(name: str, n: int, seed: int = 0, p: Optional[float] = None) -> Grap
         return path(n)
     if name == "complete":
         return complete(n)
-    raise GraphError(f"unknown graph family {name!r}")
+    if name == "star":
+        return star(n)
+    if name == "petersen":
+        return petersen()
+    raise GraphError(f"unknown graph family {name!r} "
+                     f"(choose from {', '.join(FAMILIES)})")

@@ -47,7 +47,13 @@ def read_edgelist(path: PathLike) -> Graph:
         parts = ln.split()
         if len(parts) != 2:
             raise GraphError(f"malformed edge line {ln!r} in {path}")
-        graph.add_edge(int(parts[0]), int(parts[1]))
+        try:
+            u, v = int(parts[0]), int(parts[1])
+        except ValueError as exc:
+            raise GraphError(
+                f"malformed edge line {ln!r} in {path}"
+            ) from exc
+        graph.add_edge(u, v)
     return graph
 
 

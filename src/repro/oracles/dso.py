@@ -20,17 +20,17 @@ dense graphs the work drops accordingly.  This realises the paper's
 Section-4.3 remark that its fault-tolerant structures "balance the
 information" of DSOs.
 
-All preprocessing runs through a :class:`ScenarioEngine` — one shared
-engine over the base graph (injectable, so a session already holding
-one pays nothing extra) plus one per preserver substrate — so the
-one-BFS-per-tree-edge loop is a batched scenario stream over a reused
-O(|F|) scratch mask rather than a fresh ad-hoc view per edge.  On the
-shared-graph path the stream is additionally *transposed*: tree-edge
-scenarios are grouped across sources, so each fault edge is masked
-once and one bit-packed multi-source wave
-(:meth:`ScenarioEngine.source_vectors`) computes the replacement rows
-of every source whose tree contains that edge.  Query streams go
-through :meth:`SourcewiseDSO.query_many`, which hoists the per-query
+All preprocessing routes through the declarative query API
+(:mod:`repro.query`) — one shared :class:`~repro.query.session.Session`
+over the base graph (injectable, so a caller already holding one pays
+nothing extra) plus one per preserver substrate.  The whole
+one-BFS-per-tree-edge loop is expressed as **one** declarative stream
+of :class:`~repro.query.queries.VectorQuery` objects: the planner
+groups it by canonical fault set, so each tree edge is masked once and
+one bit-packed multi-source wave computes the replacement rows of
+every source whose tree contains that edge (the transposition PR 3
+hand-rolled now falls out of planning).  Query streams go through
+:meth:`SourcewiseDSO.query_many`, which hoists the per-query
 validation and dictionary plumbing out of the loop.
 """
 
@@ -42,6 +42,8 @@ from repro.exceptions import GraphError
 from repro.graphs.base import Edge, Graph, canonical_edge
 from repro.core.scheme import RestorableTiebreaking
 from repro.preservers.ft_bfs import ft_sv_preserver
+from repro.query.queries import VectorQuery
+from repro.query.session import Session
 from repro.scenarios.engine import ScenarioEngine
 from repro.spt.bfs import UNREACHABLE
 
@@ -63,16 +65,20 @@ class SourcewiseDSO:
     seed:
         Seed for a fresh scheme.
     engine:
-        Optional shared :class:`ScenarioEngine` over ``graph``; one is
-        built if absent.  Base distance rows come from its cache, and
-        (without a preserver) the per-tree-edge replacement rows run
-        through its reusable scratch mask.
+        Optional shared :class:`ScenarioEngine` over ``graph``
+        (wrapped in a private :class:`Session`); prefer ``session``.
+    session:
+        Optional shared :class:`~repro.query.session.Session` over
+        ``graph``; one is built if absent.  Base distance rows come
+        from its caches, and (without a preserver) the per-tree-edge
+        replacement rows ride its planner's grouped waves.
     """
 
     def __init__(self, graph: Graph, sources: Iterable[int],
                  scheme: Optional[RestorableTiebreaking] = None,
                  use_preserver: bool = False, seed: int = 0,
-                 engine: Optional[ScenarioEngine] = None):
+                 engine: Optional[ScenarioEngine] = None,
+                 session: Optional[Session] = None):
         self._graph = graph
         self._sources = sorted(set(sources))
         for s in self._sources:
@@ -82,9 +88,9 @@ class SourcewiseDSO:
             scheme = RestorableTiebreaking.build(graph, f=1, seed=seed)
         self._scheme = scheme
         self._use_preserver = use_preserver
-        if engine is not None and engine.graph is not graph:
-            raise GraphError("engine was built over a different graph")
-        self._engine = engine if engine is not None else ScenarioEngine(graph)
+        session = Session.adopt(graph, engine=engine, session=session)
+        self._session = session
+        self._engine = session.engine
 
         # per source: fault-free distances, tree-path edge sets,
         # and replacement rows per tree edge
@@ -96,9 +102,11 @@ class SourcewiseDSO:
 
         trees = {s: self._scheme.tree(s) for s in self._sources}
         # Base rows for every source in one fault-free batch wave.
-        self._base_dist.update(zip(
-            self._sources, self._engine.source_vectors(self._sources)
-        ))
+        self._base_dist.update(zip(self._sources, (
+            a.value for a in self._session.answer(
+                VectorQuery(s) for s in self._sources
+            )
+        )))
         for s in self._sources:
             self._path_edges[s] = self._selected_path_edges(s, trees[s])
         if use_preserver:
@@ -120,25 +128,30 @@ class SourcewiseDSO:
         return per_vertex
 
     def _preprocess_shared(self, trees) -> None:
-        """Replacement rows over the base graph, transposed per edge.
+        """Replacement rows over the base graph, as one query stream.
 
-        Sources sharing a tree edge share the scenario ``{e}``, so the
-        stream is grouped by edge: each edge is masked once and one
-        multi-source wave serves every source whose tree contains it
-        (a source's tree edges are exactly the faults that can change
-        its rows, so no source misses a needed row).
+        Sources sharing a tree edge share the scenario ``{e}``: the
+        whole preprocessing is one declarative ``VectorQuery`` stream,
+        and the session's planner groups it by canonical fault set, so
+        each edge is masked once and one multi-source wave serves
+        every source whose tree contains it (a source's tree edges are
+        exactly the faults that can change its rows, so no source
+        misses a needed row).
         """
         by_edge: Dict[Edge, List[int]] = {}
         for s in self._sources:
             for e in trees[s].edges():
                 by_edge.setdefault(e, []).append(s)
         self._substrate_edges += self._graph.m * len(self._sources)
-        for e in sorted(by_edge):
-            edge_sources = by_edge[e]
-            rows = self._engine.source_vectors(edge_sources, (e,))
-            for s, row in zip(edge_sources, rows):
-                self._rows[(s, e)] = row
-                self._preprocessed_edges += 1
+        stream = [
+            (s, e) for e in sorted(by_edge) for s in by_edge[e]
+        ]
+        answers = self._session.answer(
+            VectorQuery(s, (e,)) for s, e in stream
+        )
+        for (s, e), answer in zip(stream, answers):
+            self._rows[(s, e)] = answer.value
+            self._preprocessed_edges += 1
 
     def _preprocess_in_preserver(self, s: int, tree) -> None:
         """Replacement rows inside the source's own 1-FT preserver.
@@ -148,14 +161,14 @@ class SourcewiseDSO:
         rather than across sources.
         """
         substrate = ft_sv_preserver(self._scheme, [s], f=1).as_graph()
-        row_engine = ScenarioEngine(substrate)
+        row_session = Session(substrate)
         self._substrate_edges += substrate.m
         tree_edges = list(tree.edges())
-        rows = row_engine.distance_vectors(
-            s, [(e,) for e in tree_edges]
+        answers = row_session.answer(
+            VectorQuery(s, (e,)) for e in tree_edges
         )
-        for e, row in zip(tree_edges, rows):
-            self._rows[(s, e)] = row
+        for e, answer in zip(tree_edges, answers):
+            self._rows[(s, e)] = answer.value
             self._preprocessed_edges += 1
 
     # ------------------------------------------------------------------

@@ -61,18 +61,19 @@ def preserver_violations(
     set sorted and deduplicated), regardless of the orientation/order
     it was supplied in.
     """
-    # Delegate to the batched engine: one CSR snapshot per graph, a
-    # reusable O(|F|) scratch mask per scenario, and one bit-packed
-    # multi-source BFS wave per (scenario, graph) serving the whole
-    # source set, instead of a fresh FaultView + filtered BFS per
-    # (fault set, source).  Enumeration order is unchanged; note the
-    # engine reports each fault set in canonical form (sorted,
-    # deduplicated), so explicitly passed ``fault_sets`` entries may
-    # come back reordered.
-    from repro.scenarios.engine import ScenarioEngine
+    # Delegate through the query-session facade to the batched
+    # engine: one CSR snapshot per graph, a reusable O(|F|) scratch
+    # mask per scenario, and one bit-packed multi-source BFS wave per
+    # (scenario, graph) serving the whole source set, instead of a
+    # fresh FaultView + filtered BFS per (fault set, source).
+    # Enumeration order is unchanged; note the engine reports each
+    # fault set in canonical form (sorted, deduplicated), so
+    # explicitly passed ``fault_sets`` entries may come back
+    # reordered.
+    from repro.query.session import Session
 
-    engine = ScenarioEngine(graph)
-    return engine.preserver_violations(
+    session = Session(graph)
+    return session.preserver_violations(
         preserver_edges, sources,
         _fault_universe(graph, f, fault_sets), targets,
     )

@@ -1,0 +1,383 @@
+"""The batching planner: a mixed query stream → grouped kernel calls.
+
+The :class:`Planner` takes an arbitrary mix of typed queries (see
+:mod:`repro.query.queries`), validates the stream *before any kernel
+runs* (mixed weightedness, unknown vertices, unservable kinds all
+raise :class:`~repro.exceptions.QueryError`), groups it by canonical
+fault set, and serves each group with **one** batched multi-source
+wave — after the engine's cheaper layers (pair memo, vector cache,
+touch filter) have answered everything they can.
+
+Side choice (the ROADMAP's target-side batching): within a group the
+distance/pair queries could be waved from their sources *or* — since
+distances are symmetric on an undirected graph with symmetric weights
+— from their targets.  The cost model is the number of distinct
+vertices a wave would have to start from: vector/eccentricity queries
+pin their sources into the wave either way, so
+
+    cost(side) = | {side vertex of each pair query} ∪ {pinned sources} |
+
+and the planner waves the cheaper side (ties go to the source side;
+an engine over an antisymmetric weighted snapshot never flips).  The
+choice is recorded on the :class:`PlanGroup` so tests and benches can
+audit it.
+
+Plan first, execute second: :meth:`Planner.plan` is pure (no engine
+counters move), so a plan can be inspected — group count, chosen
+sides, estimated wave costs — before :meth:`Planner.execute` touches
+any cache or kernel.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.exceptions import QueryError
+from repro.query.queries import (
+    Answer,
+    ConnectivityQuery,
+    DistanceQuery,
+    EccentricityQuery,
+    PairQuery,
+    PairReport,
+    Provenance,
+    Query,
+    RestorationQuery,
+    VectorQuery,
+)
+from repro.scenarios.enumerate import FaultSet
+from repro.spt.bfs import UNREACHABLE
+
+__all__ = ["Planner", "Plan", "PlanGroup"]
+
+_PAIR_KINDS = (DistanceQuery, PairQuery)
+_VECTOR_KINDS = (VectorQuery, EccentricityQuery)
+
+
+@dataclass
+class PlanGroup:
+    """One fault set's slice of the stream, plus the planned wave.
+
+    ``cost_source`` / ``cost_target`` are the planner's *estimates*
+    (distinct wave starts, cache-agnostic — the caches are consulted
+    at execute time); ``wave_size`` is filled in by
+    :meth:`Planner.execute` with the number of sources the group's
+    wave actually traversed (0 when every query was served by a
+    cache or the touch filter).
+    """
+
+    fault_key: FaultSet
+    indices: List[int]
+    side: str  # "source" | "target"
+    cost_source: int
+    cost_target: int
+    wave_size: int = 0
+
+
+@dataclass
+class Plan:
+    """A validated, grouped, side-chosen query stream, ready to run."""
+
+    queries: List[Query]
+    groups: List[PlanGroup] = field(default_factory=list)
+    restoration: List[int] = field(default_factory=list)
+    waves: int = 0  # filled by execute(): kernel calls actually made
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+
+class Planner:
+    """Groups a mixed query stream and dispatches batched kernels.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.scenarios.engine.ScenarioEngine` whose
+        snapshot, caches and kernels serve the plans.  The planner
+        only uses the engine's *kernel layer* (``source_vectors``,
+        ``peek_pair`` / ``peek_vector`` / ``store_pair``,
+        ``faults_touch_pair``, ``base_distances``,
+        ``restoration_sweep``) — never the deprecated per-call query
+        methods it replaces.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def plan(self, queries: Iterable[Query]) -> Plan:
+        """Validate and group ``queries``; no engine state is touched.
+
+        Raises :class:`~repro.exceptions.QueryError` on a malformed
+        stream: anything that is not a :class:`Query`, an unknown
+        vertex, mixed ``weighted=`` declarations, a declaration that
+        contradicts the engine, or a restoration query against a
+        weighted engine.
+        """
+        engine = self.engine
+        items = list(queries)
+        declared: Dict[bool, Query] = {}
+        for q in items:
+            if not isinstance(q, Query) or type(q) is Query:
+                raise QueryError(
+                    f"not a query object: {q!r} (use the typed query "
+                    f"classes from repro.query)"
+                )
+            if q.weighted is not None:
+                declared.setdefault(bool(q.weighted), q)
+        if len(declared) > 1:
+            raise QueryError(
+                "mixed weighted and unweighted queries in one stream: "
+                f"{declared[True]!r} vs {declared[False]!r}"
+            )
+        if declared:
+            want = next(iter(declared))
+            if want != engine.weighted:
+                mode = "weighted" if engine.weighted else "unweighted"
+                raise QueryError(
+                    f"stream declares weighted={want} but the session "
+                    f"engine is {mode}; serving it would silently use "
+                    f"the wrong kernels"
+                )
+        has_vertex = engine.csr.has_vertex
+        plan = Plan(queries=items)
+        groups: "OrderedDict[FaultSet, List[int]]" = OrderedDict()
+        seen_fault_keys = set()
+        for i, q in enumerate(items):
+            for attr in ("source", "target"):
+                v = getattr(q, attr, None)
+                if v is not None and not has_vertex(v):
+                    raise QueryError(
+                        f"unknown {attr} vertex {v} in {q!r}"
+                    )
+            if q.fault_key not in seen_fault_keys:
+                seen_fault_keys.add(q.fault_key)
+                # Fault edges between existing vertices that are not
+                # present are tolerated (removing nothing, like
+                # ``without()``), but an out-of-range endpoint is a
+                # caller typo that would otherwise silently read as
+                # "touches nothing" — surface it before any kernel.
+                for u, v in q.fault_key:
+                    if not (has_vertex(u) and has_vertex(v)):
+                        raise QueryError(
+                            f"fault edge ({u}, {v}) references an "
+                            f"unknown vertex in {q!r}"
+                        )
+            if isinstance(q, RestorationQuery):
+                if engine.weighted:
+                    raise QueryError(
+                        "RestorationQuery runs on hop distances and "
+                        "tiebreaking schemes; the session engine is "
+                        "weighted"
+                    )
+                plan.restoration.append(i)
+                continue
+            groups.setdefault(q.fault_key, []).append(i)
+        flip_ok = engine.symmetric_weights
+        for fault_key, idxs in groups.items():
+            pinned = {
+                items[i].source for i in idxs
+                if isinstance(items[i], _VECTOR_KINDS)
+            }
+            pairs = [items[i] for i in idxs
+                     if isinstance(items[i], _PAIR_KINDS)]
+            cost_source = len(pinned | {q.source for q in pairs})
+            cost_target = len(pinned | {q.target for q in pairs})
+            side = (
+                "target"
+                if pairs and flip_ok and cost_target < cost_source
+                else "source"
+            )
+            plan.groups.append(PlanGroup(
+                fault_key=fault_key, indices=idxs, side=side,
+                cost_source=cost_source, cost_target=cost_target,
+            ))
+        return plan
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, plan: Plan, scheme=None) -> List[Answer]:
+        """Run a plan: one batched kernel call per group that needs one.
+
+        Answers align with the planned stream's order.  ``scheme`` is
+        required iff the plan contains restoration queries.
+        """
+        if plan.restoration:
+            # Scheme problems surface before ANY kernel runs (the
+            # QueryError contract), not after the other groups' waves
+            # have already mutated the engine caches.
+            self._check_restoration_scheme(scheme)
+        answers: List[Optional[Answer]] = [None] * len(plan.queries)
+        plan.waves = 0
+        for group in plan.groups:
+            self._execute_group(plan, group, answers)
+        if plan.restoration:
+            self._execute_restoration(plan, answers, scheme)
+        return answers  # type: ignore[return-value]
+
+    def run(self, queries: Iterable[Query], scheme=None) -> List[Answer]:
+        """:meth:`plan` + :meth:`execute` in one call."""
+        return self.execute(self.plan(queries), scheme=scheme)
+
+    # ------------------------------------------------------------------
+    def _pair_value(self, query: Query, dist: int):
+        """Wrap a scalar distance in the query kind's value type."""
+        if isinstance(query, PairQuery):
+            base = self.engine.base_distances(query.source)[query.target]
+            return PairReport(base=base, distance=dist)
+        return dist
+
+    def _execute_group(self, plan: Plan, group: PlanGroup,
+                       answers: List[Optional[Answer]]) -> None:
+        engine = self.engine
+        fault_key = group.fault_key
+        flip = group.side == "target"
+        kernel = ("csr_weighted_distances_many" if engine.weighted
+                  else "csr_bfs_distances_many")
+        queries = plan.queries
+        # Phase 1: the cheap layers — pair memo, vector cache, touch
+        # filter — answer what they can; the rest joins the wave.
+        pending: List[int] = []          # query indices awaiting the wave
+        wave: "OrderedDict[int, None]" = OrderedDict()  # dedup, ordered
+        conn: List[int] = []             # connectivity queries, deferred
+        conn_vector = None               # any cached vector, for them
+        for i in group.indices:
+            q = queries[i]
+            if isinstance(q, ConnectivityQuery):
+                conn.append(i)
+                continue
+            if isinstance(q, _PAIR_KINDS):
+                dist = engine.peek_pair(q.source, q.target, fault_key)
+                if dist is not None:
+                    answers[i] = Answer(q, self._pair_value(q, dist),
+                                        Provenance("cache", "pair-memo"))
+                    continue
+                served = False
+                for origin, other in (
+                    ((q.source, q.target),)
+                    if not engine.symmetric_weights else
+                    ((q.source, q.target), (q.target, q.source))
+                ):
+                    vec = engine.peek_vector(origin, fault_key)
+                    if vec is not None:
+                        dist = vec[other]
+                        engine.store_pair(q.source, q.target,
+                                          fault_key, dist)
+                        answers[i] = Answer(
+                            q, self._pair_value(q, dist),
+                            Provenance("cache", "vector-cache"),
+                        )
+                        if conn_vector is None:
+                            conn_vector = vec
+                        served = True
+                        break
+                if served:
+                    continue
+                if not engine.faults_touch_pair(q.source, q.target,
+                                                fault_key):
+                    dist = engine.base_distances(q.source)[q.target]
+                    engine.store_pair(q.source, q.target, fault_key, dist)
+                    answers[i] = Answer(
+                        q, self._pair_value(q, dist),
+                        Provenance("filter", "touch-filter"),
+                    )
+                    continue
+                pending.append(i)
+                wave[q.target if flip else q.source] = None
+                continue
+            # VectorQuery / EccentricityQuery
+            vec = engine.peek_vector(q.source, fault_key)
+            if vec is not None:
+                answers[i] = Answer(q, self._vector_value(q, vec),
+                                    Provenance("cache", "vector-cache"))
+                if conn_vector is None:
+                    conn_vector = vec
+                continue
+            pending.append(i)
+            wave[q.source] = None
+        if conn and not wave and conn_vector is None:
+            # Nothing else forces a traversal: connectivity can ride
+            # ANY cached vector under this fault set (undirected: one
+            # full row convicts or acquits the whole graph); only a
+            # fully cold fault set pays a wave of its own.
+            cached = (engine.peek_any_vector(fault_key)
+                      if engine.csr.n else None)
+            if cached is not None:
+                conn_vector = cached
+            elif engine.csr.n:
+                wave[0] = None
+        # Phase 2: one batched multi-source wave serves every pending
+        # query (and populates the vector cache for later gathers).
+        rows: Dict[int, List[int]] = {}
+        if wave:
+            batch = list(wave)
+            vectors = engine.source_vectors(batch, fault_key)
+            rows = dict(zip(batch, vectors))
+            group.wave_size = len(batch)
+            plan.waves += 1
+        wave_of = Provenance("wave", "masked-wave", kernel=kernel,
+                             side=group.side, wave_size=group.wave_size)
+        for i in pending:
+            q = queries[i]
+            if isinstance(q, _PAIR_KINDS):
+                row = rows[q.target if flip else q.source]
+                dist = row[q.source if flip else q.target]
+                engine.store_pair(q.source, q.target, fault_key, dist)
+                answers[i] = Answer(q, self._pair_value(q, dist), wave_of)
+            else:
+                answers[i] = Answer(q, self._vector_value(q, rows[q.source]),
+                                    wave_of)
+        for i in conn:
+            q = queries[i]
+            if engine.csr.n == 0:
+                answers[i] = Answer(q, True, Provenance("filter", "empty"))
+                continue
+            if rows:
+                vec = next(iter(rows.values()))
+                answers[i] = Answer(q, UNREACHABLE not in vec, wave_of)
+            else:
+                answers[i] = Answer(q, UNREACHABLE not in conn_vector,
+                                    Provenance("cache", "vector-cache"))
+
+    @staticmethod
+    def _vector_value(query: Query, vec: List[int]):
+        if isinstance(query, EccentricityQuery):
+            return UNREACHABLE if UNREACHABLE in vec else max(vec)
+        return vec
+
+    def _check_restoration_scheme(self, scheme) -> None:
+        if scheme is None:
+            raise QueryError(
+                "RestorationQuery needs a scheme: pass one to "
+                "Session(scheme=...) or answer(..., scheme=...)"
+            )
+        scheme_graph = getattr(scheme, "graph", None)
+        if scheme_graph is not None and scheme_graph is not self.engine.graph:
+            raise QueryError(
+                "scheme and session engine must share the same base "
+                "graph (engine caches would silently answer for the "
+                "wrong graph)"
+            )
+
+    def _execute_restoration(self, plan: Plan,
+                             answers: List[Optional[Answer]],
+                             scheme) -> None:
+        engine = self.engine
+        instances = [
+            (plan.queries[i].source, plan.queries[i].target,
+             plan.queries[i].fault_edge)
+            for i in plan.restoration
+        ]
+        results = engine.restoration_sweep(scheme, instances)
+        plan.waves += 1
+        prov = Provenance("wave", "restoration-sweep",
+                          kernel="restoration_sweep",
+                          wave_size=len(instances))
+        for i, res in zip(plan.restoration, results):
+            answers[i] = Answer(plan.queries[i], res.value, prov)

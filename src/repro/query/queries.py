@@ -1,0 +1,206 @@
+"""Typed query objects — the value types of the declarative query API.
+
+Each query kind is a frozen dataclass whose ``faults`` field is
+canonicalized at construction (each edge sorted, the set sorted and
+deduplicated), so two queries asking the same question compare equal,
+hash equal, and land in the same planner group no matter how their
+fault sets were spelled.  See :mod:`repro.query` for the full algebra
+contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.exceptions import QueryError
+from repro.graphs.base import Edge
+from repro.scenarios.enumerate import FaultSet, _canonical
+
+__all__ = [
+    "Query",
+    "DistanceQuery",
+    "PairQuery",
+    "VectorQuery",
+    "EccentricityQuery",
+    "ConnectivityQuery",
+    "RestorationQuery",
+    "PairReport",
+    "Provenance",
+    "Answer",
+]
+
+
+class Query:
+    """Common behaviour of every query kind (not itself a query).
+
+    Subclasses are frozen dataclasses; this base canonicalizes the
+    ``faults`` field in ``__post_init__`` (via ``object.__setattr__``,
+    the frozen-dataclass idiom) and exposes it as :attr:`fault_key`,
+    the grouping key of the :class:`~repro.query.planner.Planner`.
+    """
+
+    __slots__ = ()
+
+    def __post_init__(self) -> None:
+        try:
+            key = _canonical(self.faults)
+        except (TypeError, ValueError) as exc:
+            raise QueryError(
+                f"malformed fault set {self.faults!r} in "
+                f"{type(self).__name__}: {exc}"
+            ) from exc
+        object.__setattr__(self, "faults", key)
+        self._validate()
+
+    def _validate(self) -> None:
+        """Kind-specific structural checks (graph-free)."""
+
+    @property
+    def fault_key(self) -> FaultSet:
+        """The canonical fault tuple — the planner's grouping key."""
+        return self.faults
+
+
+@dataclass(frozen=True)
+class DistanceQuery(Query):
+    """``dist_{G \\ F}(source, target)`` — answer value is an ``int``
+    (``UNREACHABLE`` = -1 when the faults disconnect the pair)."""
+
+    source: int
+    target: int
+    faults: FaultSet = ()
+    weighted: Optional[bool] = None
+
+
+@dataclass(frozen=True)
+class PairQuery(Query):
+    """A monitored pair's health under ``F`` — answer value is a
+    :class:`PairReport` (fault-free baseline, replacement distance,
+    stretch)."""
+
+    source: int
+    target: int
+    faults: FaultSet = ()
+    weighted: Optional[bool] = None
+
+
+@dataclass(frozen=True)
+class VectorQuery(Query):
+    """The full distance vector from ``source`` in ``G \\ F`` — answer
+    value is a dense **read-only** list (shared with the engine's
+    caches; do not mutate), ``UNREACHABLE`` (-1) where cut off."""
+
+    source: int
+    faults: FaultSet = ()
+    weighted: Optional[bool] = None
+
+
+@dataclass(frozen=True)
+class EccentricityQuery(Query):
+    """``max_v dist_{G \\ F}(source, v)`` — answer value is an ``int``,
+    ``UNREACHABLE`` (-1) when some vertex is unreachable from
+    ``source`` (a max over missing distances would silently
+    understate, so disconnection is surfaced in-band, unlike the
+    raising contract of :func:`repro.spt.apsp.eccentricity`)."""
+
+    source: int
+    faults: FaultSet = ()
+    weighted: Optional[bool] = None
+
+
+@dataclass(frozen=True)
+class ConnectivityQuery(Query):
+    """Does ``G \\ F`` stay connected? — answer value is a ``bool``.
+    The planner answers it from any distance vector its group already
+    computed (undirected: one full row convicts or acquits the whole
+    graph), so it usually rides along for free."""
+
+    faults: FaultSet = ()
+    weighted: Optional[bool] = None
+
+
+@dataclass(frozen=True)
+class RestorationQuery(Query):
+    """Figure-1 style restoration instance: can the naive (``F' = ∅``)
+    midpoint scan restore ``source ~> target`` around the single fault
+    edge?  Answer value mirrors
+    :meth:`~repro.scenarios.engine.ScenarioEngine.restoration_sweep`:
+    ``(target_distance, RestorationResult | None)``, or ``None`` when
+    the fault disconnects the pair.  Needs a scheme
+    (``Session(scheme=...)`` or ``answer(..., scheme=...)``) and an
+    unweighted engine."""
+
+    source: int
+    target: int
+    faults: FaultSet = ()
+    weighted: Optional[bool] = None
+
+    def _validate(self) -> None:
+        if len(self.faults) != 1:
+            raise QueryError(
+                f"RestorationQuery takes exactly one fault edge, got "
+                f"{len(self.faults)}: {self.faults!r}"
+            )
+
+    @property
+    def fault_edge(self) -> Edge:
+        return self.faults[0]
+
+
+@dataclass(frozen=True)
+class PairReport:
+    """Value of a :class:`PairQuery`: the pair's health under ``F``."""
+
+    base: int
+    distance: int
+
+    @property
+    def disconnected(self) -> bool:
+        return self.distance < 0
+
+    @property
+    def stretch(self) -> Optional[int]:
+        """Extra distance the faults cost; ``None`` when disconnected."""
+        return None if self.distance < 0 else self.distance - self.base
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """How an :class:`Answer` was produced.
+
+    ``source`` is one of:
+
+    * ``"cache"`` — served without traversing (pair memo, cached
+      distance vector, or fault-free base vectors); ``detail`` names
+      which cache.
+    * ``"filter"`` — the touch filter proved the fault set off every
+      shortest path, so the base distance was returned in O(|F|).
+    * ``"wave"`` — computed by a batched kernel call in this gather;
+      ``kernel`` names it, ``wave_size`` counts the sources the wave
+      served, and ``side`` records the waved side (``"source"`` /
+      ``"target"``) for pair-type queries.
+    """
+
+    source: str
+    detail: str = ""
+    kernel: Optional[str] = None
+    side: Optional[str] = None
+    wave_size: int = 0
+
+
+@dataclass(frozen=True)
+class Answer:
+    """One query's typed result: the query, its value, its provenance."""
+
+    query: Query
+    value: Any
+    provenance: Provenance
+
+    @property
+    def cached(self) -> bool:
+        return self.provenance.source == "cache"
+
+    @property
+    def waved(self) -> bool:
+        return self.provenance.source == "wave"

@@ -1,0 +1,260 @@
+"""The :class:`Session` facade — the library's single query entry point.
+
+A session owns one :class:`~repro.scenarios.engine.ScenarioEngine`
+(built from a graph, or adopted) and one
+:class:`~repro.query.planner.Planner`, and exposes three ways in:
+
+* **streaming** — :meth:`Session.submit` queues typed queries,
+  :meth:`Session.gather` plans and answers everything queued, in
+  submission order;
+* **one-shot** — :meth:`Session.answer` plans and answers an iterable
+  directly (the queue is untouched);
+* **async** — :meth:`Session.answer_async` awaits the same result
+  from an :mod:`asyncio` event loop (the plan runs in the loop's
+  default executor, keeping the loop responsive — the seam the
+  ROADMAP's async service front plugs into).
+
+Batch jobs that are not (yet) part of the query algebra — the
+Definition-4 preserver check — are exposed as facade methods so
+consumers still route through one object.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import threading
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.exceptions import GraphError, QueryError
+from repro.graphs.base import Edge
+from repro.query.planner import Plan, Planner
+from repro.query.queries import Answer, Query
+from repro.scenarios.engine import CacheInfo, ScenarioEngine
+
+__all__ = ["Session", "SessionStats"]
+
+
+@dataclass
+class SessionStats:
+    """Running totals of what a session has served, by provenance."""
+
+    answers: int = 0
+    gathers: int = 0
+    waves: int = 0
+    cache: int = 0
+    filter: int = 0
+    wave: int = 0
+
+    def record(self, plan: Plan, answers: List[Answer]) -> None:
+        self.answers += len(answers)
+        self.gathers += 1
+        self.waves += plan.waves
+        for a in answers:
+            kind = a.provenance.source
+            if kind == "cache":
+                self.cache += 1
+            elif kind == "filter":
+                self.filter += 1
+            else:
+                self.wave += 1
+
+
+class Session:
+    """Facade over engine + planner: submit typed queries, gather answers.
+
+    Parameters
+    ----------
+    graph:
+        The base graph (anything :class:`ScenarioEngine` accepts).
+        Omit it when adopting an existing ``engine``.
+    engine:
+        An existing engine to adopt instead of building one — a
+        consumer already holding a warm engine pays nothing extra.
+    scheme:
+        Default tiebreaking scheme for
+        :class:`~repro.query.queries.RestorationQuery` streams
+        (overridable per :meth:`answer` call).
+    memoize:
+        LRU capacity for a freshly built engine (see
+        :class:`ScenarioEngine`).
+
+    Example
+    -------
+    >>> from repro.graphs import generators
+    >>> from repro.query import DistanceQuery, Session
+    >>> session = Session(generators.grid(4, 4))
+    >>> session.submit(DistanceQuery(0, 15, faults=[(0, 1)]))
+    >>> [a.value for a in session.gather()]
+    [6]
+    """
+
+    def __init__(self, graph=None, *, engine: Optional[ScenarioEngine] = None,
+                 scheme=None, memoize: int = 4096):
+        if engine is None:
+            if graph is None:
+                raise QueryError("Session needs a graph or an engine")
+            engine = ScenarioEngine(graph, memoize=memoize)
+        elif graph is not None and engine.graph is not graph:
+            raise QueryError(
+                "engine was built over a different graph; pass one or "
+                "the other, not a mismatched pair"
+            )
+        self.engine = engine
+        self.scheme = scheme
+        self.planner = Planner(engine)
+        self.stats = SessionStats()
+        self._pending: List[Query] = []
+        # Gathers serialize on this lock: the engine's LRU and the
+        # session counters are not thread-safe, and answer_async runs
+        # plans in executor threads — overlapping gathers from one
+        # event loop must not interleave engine mutations.
+        self._gather_lock = threading.Lock()
+
+    @classmethod
+    def adopt(cls, graph, engine: Optional[ScenarioEngine] = None,
+              session: Optional["Session"] = None) -> "Session":
+        """Resolve the consumer idiom "optional engine or session".
+
+        The one implementation of the adoption contract shared by
+        ``SourcewiseDSO``, ``restoration_success_rate`` and
+        ``subset_replacement_paths``: reuse a passed session, wrap a
+        passed engine, or build fresh — raising
+        :class:`~repro.exceptions.GraphError` (the pre-PR-4 contract
+        of those consumers) when the passed component was built over a
+        different graph, or when both are passed and disagree.
+        """
+        if session is not None:
+            if session.graph is not graph:
+                raise GraphError(
+                    "session was built over a different graph"
+                )
+            if engine is not None and engine is not session.engine:
+                raise GraphError(
+                    "pass engine or session, not a disagreeing pair"
+                )
+            return session
+        if engine is not None:
+            if engine.graph is not graph:
+                raise GraphError(
+                    "engine was built over a different graph"
+                )
+            return cls(engine=engine)
+        return cls(graph)
+
+    # ------------------------------------------------------------------
+    # the declarative surface
+    # ------------------------------------------------------------------
+    @property
+    def graph(self):
+        return self.engine.graph
+
+    @property
+    def pending(self) -> int:
+        """Queries submitted but not yet gathered."""
+        return len(self._pending)
+
+    def submit(self, *queries) -> "Session":
+        """Queue queries (each argument a :class:`Query` or an iterable
+        of them) for the next :meth:`gather`.  Returns ``self`` so
+        submits chain.
+
+        All-or-nothing: arguments are staged before the queue is
+        touched, so an iterable that raises mid-way leaves nothing
+        half-submitted for the next gather to mis-answer.
+        """
+        staged: List[Query] = []
+        for q in queries:
+            if isinstance(q, Query):
+                staged.append(q)
+                continue
+            try:
+                items = iter(q)
+            except TypeError:
+                raise QueryError(
+                    f"submit() takes queries or iterables of "
+                    f"queries, got {q!r}"
+                ) from None
+            # Errors raised while *consuming* the iterable (a buggy
+            # generator body) propagate unchanged — they are the
+            # caller's bug, not a submit() usage error.
+            staged.extend(items)
+        self._pending.extend(staged)
+        return self
+
+    def gather(self, scheme=None) -> List[Answer]:
+        """Plan and answer everything queued, in submission order.
+
+        The queue is drained even when planning fails, so one
+        malformed stream cannot poison the next gather.
+        """
+        batch, self._pending = self._pending, []
+        return self._run(batch, scheme)
+
+    def answer(self, queries: Iterable[Query], scheme=None) -> List[Answer]:
+        """One-shot: plan and answer ``queries`` (queue untouched)."""
+        return self._run(list(queries), scheme)
+
+    def answer_one(self, query: Query, scheme=None) -> Answer:
+        """Convenience: answer a single query."""
+        return self._run([query], scheme)[0]
+
+    async def answer_async(self, queries: Iterable[Query],
+                           scheme=None) -> List[Answer]:
+        """Awaitable :meth:`answer` for asyncio service fronts.
+
+        The plan runs in the event loop's default executor, so the
+        loop stays free to accept other work while the kernels sweep.
+        Concurrent ``answer_async`` calls on one session are safe:
+        gathers serialize on an internal lock (the engine caches are
+        shared mutable state), so overlapping awaits queue up rather
+        than corrupt counters.
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, functools.partial(self.answer, list(queries), scheme)
+        )
+
+    def _run(self, queries: List[Query], scheme) -> List[Answer]:
+        plan = self.planner.plan(queries)
+        with self._gather_lock:
+            answers = self.planner.execute(
+                plan, scheme=scheme if scheme is not None else self.scheme
+            )
+            self.stats.record(plan, answers)
+        return answers
+
+    # ------------------------------------------------------------------
+    # batch facades outside the algebra
+    # ------------------------------------------------------------------
+    def preserver_violations(self, preserver_edges: Iterable[Edge],
+                             sources: Iterable[int],
+                             scenarios: Iterable[Iterable[Edge]],
+                             targets: Optional[Iterable[int]] = None
+                             ) -> List[Tuple]:
+        """Definition-4 check of ``H ⊆ G`` over a scenario stream (see
+        :meth:`ScenarioEngine.preserver_violations`)."""
+        return self.engine.preserver_violations(
+            preserver_edges, sources, scenarios, targets
+        )
+
+    def midpoint_scan(self, scheme, s: int, t: int,
+                      faults: Iterable[Edge], subset: Iterable[Edge] = ()):
+        """Midpoint restoration scan with the engine's cached tree
+        indices (see :meth:`ScenarioEngine.midpoint_scan`)."""
+        return self.engine.midpoint_scan(scheme, s, t, faults, subset)
+
+    # ------------------------------------------------------------------
+    def cache_info(self) -> CacheInfo:
+        """The engine's cache counters (frozen snapshot)."""
+        return self.engine.cache_info()
+
+    def __repr__(self) -> str:
+        st = self.stats
+        return (
+            f"Session(n={self.engine.csr.n}, m={self.engine.csr.m}, "
+            f"weighted={self.engine.weighted}, answers={st.answers} "
+            f"({st.cache}c/{st.filter}f/{st.wave}w in {st.waves} waves), "
+            f"pending={len(self._pending)})"
+        )

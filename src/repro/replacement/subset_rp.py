@@ -27,9 +27,12 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.exceptions import GraphError
 from repro.graphs.base import Edge, Graph
+from repro.query.queries import VectorQuery
+from repro.query.session import Session
 from repro.replacement.single_pair import candidate_sweep
 from repro.core.scheme import RestorableTiebreaking
 from repro.spt.batched import csr_dijkstra_flat_many
+from repro.spt.bfs import UNREACHABLE
 from repro.spt.paths import Path
 from repro.spt.trees import ShortestPathTree
 
@@ -88,6 +91,7 @@ def subset_replacement_paths(
     sources: Iterable[int],
     scheme: Optional[RestorableTiebreaking] = None,
     seed: int = 0,
+    session: Optional[Session] = None,
 ) -> SubsetRPResult:
     """Run Algorithm 1.  See the module docstring for the construction.
 
@@ -102,6 +106,15 @@ def subset_replacement_paths(
         calls in a benchmark); a fresh random one is built otherwise.
     seed:
         Seed for the fresh scheme.
+    session:
+        Optional shared :class:`~repro.query.session.Session` over
+        ``graph``.  When given, the pair-connectivity gating goes
+        through it as fault-free
+        :class:`~repro.query.queries.VectorQuery` probes (one per
+        connected component met, answered from — and warming — the
+        engine's unbounded base-distance cache; the bounded LRU is
+        untouched).  Without one, gating uses the already-built scheme
+        trees for free; no throwaway session is constructed.
     """
     source_list = sorted(set(sources))
     for s in source_list:
@@ -113,10 +126,33 @@ def subset_replacement_paths(
     trees = {s: scheme.tree(s) for s in source_list}
     weights = scheme.weights
 
+    # Which pairs are connected at all?  A pair is solvable iff its
+    # sources share a component.  The scheme trees just built answer
+    # that for free (a selected tree spans its root's component); a
+    # caller-provided session answers it from (and warms) the shared
+    # base-distance cache instead — one fault-free VectorQuery per
+    # component representative, nothing if the cache is already warm.
+    if session is not None:
+        session = Session.adopt(graph, session=session)
+        component: Dict[int, int] = {}
+        for s in source_list:
+            if s in component:
+                continue
+            vector = session.answer_one(VectorQuery(s)).value
+            for t in source_list:
+                if t not in component and vector[t] != UNREACHABLE:
+                    component[t] = s
+
+        def solvable(s1: int, s2: int) -> bool:
+            return component[s1] == component[s2]
+    else:
+        def solvable(s1: int, s2: int) -> bool:
+            return trees[s1].reaches(s2)
+
     result = SubsetRPResult(sources=source_list)
     for i, s1 in enumerate(source_list):
         for s2 in source_list[i + 1:]:
-            if not trees[s1].reaches(s2):
+            if not solvable(s1, s2):
                 continue
             union = _tree_union_graph(graph.n, trees[s1], trees[s2])
             # Flatten the scheme's tiebreaking weights into the union

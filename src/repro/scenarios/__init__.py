@@ -14,21 +14,27 @@ citizen:
   and evaluates replacement-path / restoration / preserver queries per
   scenario over flat arrays, optionally across a process pool.
 
-Quick start (see ``examples/batch_scenarios.py`` for a full tour)::
+Since PR 4 the engine is the kernel layer under the declarative query
+API — :class:`repro.query.Session` is the preferred entry point for
+query streams.  Quick start (see ``examples/batch_scenarios.py`` and
+``examples/query_session.py`` for full tours)::
 
     from repro.graphs import generators
-    from repro.scenarios import ScenarioEngine, single_edge_faults
+    from repro.query import DistanceQuery, Session
+    from repro.scenarios import single_edge_faults
 
     graph = generators.torus(8, 8)
-    engine = ScenarioEngine(graph)
-    scenarios = list(single_edge_faults(graph))
-    dists = engine.replacement_distances(0, 27, scenarios)
+    session = Session(graph)
+    answers = session.answer(
+        [DistanceQuery(0, 27, f) for f in single_edge_faults(graph)]
+    )
 
 ``benchmarks/bench_scenario_engine.py`` measures the engine against the
 naive per-:class:`~repro.graphs.views.FaultView` loop it replaces.
 """
 
 from repro.scenarios.engine import (
+    CacheInfo,
     ScenarioEngine,
     ScenarioResult,
     TreeFaultIndex,
@@ -42,6 +48,7 @@ from repro.scenarios.enumerate import (
 )
 
 __all__ = [
+    "CacheInfo",
     "ScenarioEngine",
     "ScenarioResult",
     "TreeFaultIndex",

@@ -45,24 +45,36 @@ Per-scenario work then runs over flat arrays (see
 :mod:`repro.spt.fastpaths`), optionally fanned out across a
 ``multiprocessing`` pool for embarrassingly parallel scenario streams.
 
+Since PR 4 the engine is the *kernel layer* under the declarative
+query API (:mod:`repro.query`): a :class:`~repro.query.session.Session`
+owns an engine and a planner that groups arbitrary mixed query streams
+onto these batched kernels.  The engine's per-call batch query methods
+(``replacement_distances``, ``evaluate_pairs``, ``run_pairs``,
+``distance_vectors``, ``connectivity``) survive as thin deprecated
+shims; the scalar primitives (``pair_replacement_distance``,
+``source_vector``/``source_vectors``, ``base_distances``) and the
+batch jobs the Session facades (``restoration_sweep``,
+``preserver_violations``, ``midpoint_scan``) remain the supported
+kernel surface, alongside the planner protocol (:meth:`peek_pair`,
+:meth:`peek_vector`, :meth:`store_pair`).
+
 Example
 -------
 >>> from repro.graphs import generators
->>> from repro.scenarios import ScenarioEngine, single_edge_faults
+>>> from repro.scenarios import ScenarioEngine
 >>> g = generators.grid(4, 4)
 >>> engine = ScenarioEngine(g)
->>> scenarios = list(single_edge_faults(g))
->>> dists = engine.replacement_distances(0, 15, scenarios)
->>> len(dists) == g.m and min(dists) >= 6
-True
+>>> engine.source_vector(0, [(0, 1)])[15]  # dist_{G \\ (0,1)}(0, 15)
+6
 """
 
 from __future__ import annotations
 
 import pickle
+import warnings
 from collections import OrderedDict
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.exceptions import GraphError
@@ -82,9 +94,74 @@ from repro.spt.fastpaths import (
     csr_weighted_distances,
 )
 
-__all__ = ["ScenarioEngine", "ScenarioResult", "TreeFaultIndex"]
+__all__ = ["CacheInfo", "ScenarioEngine", "ScenarioResult",
+           "TreeFaultIndex"]
 
 _MISS = object()  # memo sentinel: cached values include UNREACHABLE (-1)
+
+
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"ScenarioEngine.{name} is deprecated; route query streams "
+        f"through repro.query.Session (the typed query API)",
+        DeprecationWarning, stacklevel=3,
+    )
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Frozen snapshot of the shared LRU memo's counters.
+
+    ``hits`` / ``misses`` / ``evictions`` cover the per-pair
+    ``(s, t, F)`` memo (names kept from PR 2 for back-compat);
+    ``vector_*`` cover the per-``(source, F)`` distance-vector cache.
+    ``size`` counts entries of both kinds; ``maxsize`` bounds their
+    sum — one eviction policy.
+
+    Attribute access is the canonical interface; ``__getitem__`` and
+    ``keys`` keep the pre-existing mapping idiom working, so
+    ``info["hits"]`` still reads and ``dict(info)`` round-trips for
+    JSON payloads.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    vector_hits: int
+    vector_misses: int
+    vector_evictions: int
+    size: int
+    maxsize: int
+
+    def __getitem__(self, key: str) -> int:
+        if key not in _CACHE_INFO_FIELDS:
+            raise KeyError(key)
+        return getattr(self, key)
+
+    def keys(self):
+        return iter(_CACHE_INFO_FIELDS)
+
+    def __iter__(self):
+        # Mapping-style iteration (yields keys, so `"hits" in info`
+        # and `list(info)` behave like the PR-2 raw dict).
+        return iter(_CACHE_INFO_FIELDS)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, CacheInfo):
+            return self.as_dict() == other.as_dict()
+        if isinstance(other, dict):  # the PR-2 raw-dict idiom
+            return self.as_dict() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.as_dict().values()))
+
+    def as_dict(self) -> Dict[str, int]:
+        """A plain dict (JSON-ready), same keys as the PR-2 payload."""
+        return {name: getattr(self, name) for name in _CACHE_INFO_FIELDS}
+
+
+_CACHE_INFO_FIELDS = tuple(f.name for f in fields(CacheInfo))
 
 
 def _snapshot_of(graph) -> CSRGraph:
@@ -313,6 +390,17 @@ class ScenarioEngine:
         if not self.weighted:
             raise GraphError(f"{what} requires a weighted engine")
 
+    @property
+    def symmetric_weights(self) -> bool:
+        """True when ``dist(u, v) == dist(v, u)`` holds snapshot-wide.
+
+        Always true on an unweighted engine (undirected hops) and on a
+        ``WeightedGraph`` snapshot; false for an adopted antisymmetric
+        snapshot built via ``with_arc_weights``.  The query planner
+        consults this before waving a pair group from the target side.
+        """
+        return self._symmetric_weights
+
     def _memo_put(self, key: Tuple, value) -> None:
         """Insert into the shared LRU, evicting (and counting) overflow."""
         if not self._memo_max:
@@ -452,6 +540,82 @@ class ScenarioEngine:
                 return True
         return False
 
+    # ------------------------------------------------------------------
+    # the planner protocol: counted peeks + write-back
+    # ------------------------------------------------------------------
+    def peek_pair(self, s: int, t: int,
+                  faults: Iterable[Edge]) -> Optional[int]:
+        """The memoised pair distance, or ``None`` on a miss.
+
+        Counts a pair hit/miss exactly like the query path would (so
+        planner-served streams and per-call streams report comparable
+        :meth:`cache_info` counters).  Cached values are ints (possibly
+        ``UNREACHABLE``), never ``None``, so ``None`` is unambiguous.
+        """
+        if not self._memo_max:
+            return None
+        key = (s, t, _canonical(faults))
+        cached = self._memo.get(key, _MISS)
+        if cached is _MISS:
+            self.cache_misses += 1
+            return None
+        self.cache_hits += 1
+        self._memo.move_to_end(key)
+        return cached
+
+    def peek_vector(self, source: int,
+                    faults: Iterable[Edge]) -> Optional[List[int]]:
+        """The cached (read-only) ``(source, F)`` vector, or ``None``.
+
+        A hit is counted; a miss is silent — like the vector peek
+        inside :meth:`pair_replacement_distance`, misses are only
+        counted by the wave that actually traverses
+        (:meth:`source_vectors`).  The fault-free vector comes from
+        the unbounded base-distance cache (uncounted, like the
+        fault-free path of :meth:`source_vectors`).
+        """
+        fault_key = _canonical(faults)
+        if not fault_key:
+            return self._base_dist.get(source)
+        if not self._memo_max:
+            return None
+        key = (source, fault_key)
+        cached = self._memo.get(key, _MISS)
+        if cached is _MISS:
+            return None
+        self.vector_hits += 1
+        self._memo.move_to_end(key)
+        return cached
+
+    def peek_any_vector(self, faults: Iterable[Edge]
+                        ) -> Optional[List[int]]:
+        """*Any* cached vector under this fault set, or ``None``.
+
+        For source-agnostic questions (connectivity of ``G \\ F``):
+        scans the LRU's vector entries for the fault key (bounded by
+        ``maxsize``, far cheaper than the traversal it saves) and
+        counts a hit like :meth:`peek_vector`; misses are silent.
+        """
+        fault_key = _canonical(faults)
+        if not fault_key:
+            return next(iter(self._base_dist.values()), None)
+        if not self._memo_max:
+            return None
+        found = next(
+            (key for key in self._memo
+             if len(key) == 2 and key[1] == fault_key), None
+        )
+        if found is None:
+            return None
+        self.vector_hits += 1
+        self._memo.move_to_end(found)
+        return self._memo[found]
+
+    def store_pair(self, s: int, t: int, faults: Iterable[Edge],
+                   value: int) -> None:
+        """Memoise one pair answer (planner write-back, no counters)."""
+        self._memo_put((s, t, _canonical(faults)), value)
+
     def pair_replacement_distance(self, s: int, t: int,
                                   faults: Iterable[Edge]) -> int:
         """``dist_{G \\ F}(s, t)``, skipping the traversal when it can.
@@ -496,26 +660,23 @@ class ScenarioEngine:
         self._memo_put((s, t, fault_key), result)
         return result
 
-    def cache_info(self) -> Dict[str, int]:
-        """Counters for both kinds of entry in the shared LRU memo.
+    def cache_info(self) -> CacheInfo:
+        """A frozen :class:`CacheInfo` snapshot of the shared LRU memo.
 
-        ``hits`` / ``misses`` / ``evictions`` cover the per-pair
-        ``(s, t, F)`` memo (names kept from PR 2 for back-compat);
-        ``vector_hits`` / ``vector_misses`` / ``vector_evictions``
-        cover the per-``(source, F)`` distance-vector cache.  ``size``
-        counts entries of both kinds; ``maxsize`` bounds their sum —
-        one eviction policy.
+        Attribute access (``info.hits``) is canonical; the PR-2
+        mapping idiom (``info["hits"]``, ``dict(info)``) keeps
+        working via :class:`CacheInfo`'s ``__getitem__`` / ``keys``.
         """
-        return {
-            "hits": self.cache_hits,
-            "misses": self.cache_misses,
-            "evictions": self.pair_evictions,
-            "vector_hits": self.vector_hits,
-            "vector_misses": self.vector_misses,
-            "vector_evictions": self.vector_evictions,
-            "size": len(self._memo),
-            "maxsize": self._memo_max,
-        }
+        return CacheInfo(
+            hits=self.cache_hits,
+            misses=self.cache_misses,
+            evictions=self.pair_evictions,
+            vector_hits=self.vector_hits,
+            vector_misses=self.vector_misses,
+            vector_evictions=self.vector_evictions,
+            size=len(self._memo),
+            maxsize=self._memo_max,
+        )
 
     def __repr__(self) -> str:
         return (
@@ -530,7 +691,15 @@ class ScenarioEngine:
     def replacement_distances(self, s: int, t: int,
                               scenarios: Iterable[Iterable[Edge]]
                               ) -> List[int]:
-        """Batch ``dist_{G \\ F}(s, t)`` for a stream of fault sets."""
+        """Batch ``dist_{G \\ F}(s, t)`` for a stream of fault sets.
+
+        .. deprecated::
+            Submit :class:`~repro.query.queries.DistanceQuery` objects
+            through a :class:`~repro.query.session.Session` instead —
+            the planner shares waves across the whole stream, not just
+            per call.
+        """
+        _deprecated("replacement_distances")
         return [
             self.pair_replacement_distance(s, t, faults)
             for faults in scenarios
@@ -611,7 +780,20 @@ class ScenarioEngine:
         every answered pair memoised under ``(s, t, F)``.
 
         Results align with the input order.
+
+        .. deprecated::
+            Submit :class:`~repro.query.queries.DistanceQuery` objects
+            through a :class:`~repro.query.session.Session` instead —
+            the planner adds target-side batching and typed answers.
         """
+        _deprecated("evaluate_pairs")
+        return self._evaluate_pairs(queries)
+
+    def _evaluate_pairs(self, queries: Iterable[Tuple[int, int,
+                                                      Iterable[Edge]]]
+                        ) -> List[int]:
+        """:meth:`evaluate_pairs` without the deprecation shim — the
+        grouped-wave kernel :meth:`restoration_sweep` batches through."""
         items: List[Tuple[int, int, FaultSet]] = []
         for s, t, faults in queries:
             if not self.csr.has_vertex(t):
@@ -669,9 +851,15 @@ class ScenarioEngine:
 
         Each result's ``value`` is ``(s, t, dist)`` and its ``faults``
         the canonical fault tuple, aligned with the input stream.
+
+        .. deprecated::
+            Submit :class:`~repro.query.queries.DistanceQuery` objects
+            through a :class:`~repro.query.session.Session`; answers
+            carry provenance instead of bare tuples.
         """
+        _deprecated("run_pairs")
         items = [(s, t, _canonical(f)) for s, t, f in queries]
-        values = self.evaluate_pairs(items)
+        values = self._evaluate_pairs(items)
         return [
             ScenarioResult(i, fault_key, (s, t, value))
             for i, ((s, t, fault_key), value)
@@ -686,14 +874,27 @@ class ScenarioEngine:
         Served through the ``(source, F)`` vector cache, so repeated
         fault sets in the stream cost one traversal.  Vectors are
         read-only (see :meth:`source_vectors`).
+
+        .. deprecated::
+            Submit :class:`~repro.query.queries.VectorQuery` objects
+            through a :class:`~repro.query.session.Session` instead.
         """
+        _deprecated("distance_vectors")
         return [
             self.source_vector(source, faults) for faults in scenarios
         ]
 
     def connectivity(self, scenarios: Iterable[Iterable[Edge]]
                      ) -> List[bool]:
-        """Per-scenario "does ``G \\ F`` stay connected?"."""
+        """Per-scenario "does ``G \\ F`` stay connected?".
+
+        .. deprecated::
+            Submit :class:`~repro.query.queries.ConnectivityQuery`
+            objects through a :class:`~repro.query.session.Session` —
+            the planner answers them from vectors its groups already
+            computed, usually for free.
+        """
+        _deprecated("connectivity")
         n = self.csr.n
         out = []
         for faults in scenarios:
@@ -742,7 +943,7 @@ class ScenarioEngine:
         """
         self._require_unweighted("restoration_sweep")
         instances = list(instances)
-        targets = self.evaluate_pairs(
+        targets = self._evaluate_pairs(
             (s, t, (e,)) for s, t, e in instances
         )
         out = []

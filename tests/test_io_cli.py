@@ -152,3 +152,38 @@ class TestCli:
         path = tmp_path / "disc.edges"
         path.write_text("3\n0 1\n")
         assert main(["demo", "--input", str(path)]) == 1
+
+    def test_query(self, capsys):
+        from repro.cli import main
+
+        code = main(["query", "--family", "grid", "--size", "4",
+                     "--pairs", "5", "--scenarios", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "query stream:" in out
+        assert "batched waves" in out
+        assert "Session(" in out
+
+    def test_family_choices_cover_by_name(self):
+        from repro.cli import FAMILIES
+
+        for family in FAMILIES:
+            g = generators.by_name(family, 4, seed=0)
+            assert g.n > 0
+
+    def test_unknown_family_exits_2(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["demo", "--family", "zebra"])
+        assert exc.value.code == 2
+        assert "zebra" in capsys.readouterr().err
+
+    def test_graph_error_exits_2_with_message(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.edges"
+        bad.write_text("zebra\n0 1\n")
+        assert main(["demo", "--input", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err

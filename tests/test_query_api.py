@@ -1,0 +1,452 @@
+"""Tests for the declarative query API (repro.query).
+
+Covers the algebra contract (canonical fault keys, frozen value
+objects), planner validation (mixed weightedness must raise
+QueryError, never silently serve the wrong kernels), answer equality
+against the engine's per-call paths, provenance consistency with
+cache_info() deltas, and the target-side batching cost model.
+"""
+
+import asyncio
+import warnings
+
+import pytest
+
+from repro.exceptions import GraphError, QueryError
+from repro.graphs import generators
+from repro.query import (
+    Answer,
+    ConnectivityQuery,
+    DistanceQuery,
+    EccentricityQuery,
+    PairQuery,
+    PairReport,
+    Planner,
+    RestorationQuery,
+    Session,
+    VectorQuery,
+)
+from repro.scenarios import CacheInfo, ScenarioEngine, random_fault_sets
+from repro.spt.bfs import UNREACHABLE
+from repro.weighted.graph import WeightedGraph
+
+
+def _quiet_engine(graph, **kwargs) -> ScenarioEngine:
+    return ScenarioEngine(graph, **kwargs)
+
+
+def _reference_value(engine, q):
+    """The per-call engine answer for one query (deprecated surface)."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        if isinstance(q, DistanceQuery):
+            return engine.pair_replacement_distance(
+                q.source, q.target, q.faults
+            )
+        if isinstance(q, PairQuery):
+            return PairReport(
+                base=engine.base_distances(q.source)[q.target],
+                distance=engine.pair_replacement_distance(
+                    q.source, q.target, q.faults
+                ),
+            )
+        if isinstance(q, VectorQuery):
+            return engine.source_vector(q.source, q.faults)
+        if isinstance(q, EccentricityQuery):
+            vec = engine.source_vector(q.source, q.faults)
+            return UNREACHABLE if UNREACHABLE in vec else max(vec)
+        if isinstance(q, ConnectivityQuery):
+            return engine.connectivity([q.faults])[0]
+        raise AssertionError(q)
+
+
+class TestQueryObjects:
+    def test_fault_sets_canonicalized(self):
+        a = DistanceQuery(0, 5, [(3, 1), (2, 4), (1, 3)])
+        b = DistanceQuery(0, 5, (((4, 2)), (1, 3)))
+        assert a.faults == ((1, 3), (2, 4))
+        assert a == b and hash(a) == hash(b)
+        assert a.fault_key == b.fault_key
+
+    def test_frozen(self):
+        q = VectorQuery(0, [(0, 1)])
+        with pytest.raises(Exception):
+            q.source = 3
+
+    def test_usable_as_dict_keys(self):
+        memo = {DistanceQuery(0, 1, [(1, 2)]): 7}
+        assert memo[DistanceQuery(0, 1, [(2, 1)])] == 7
+
+    def test_restoration_requires_single_fault(self):
+        with pytest.raises(QueryError):
+            RestorationQuery(0, 5, ())
+        with pytest.raises(QueryError):
+            RestorationQuery(0, 5, ((0, 1), (1, 2)))
+        q = RestorationQuery(0, 5, ((1, 0),))
+        assert q.fault_edge == (0, 1)
+
+    def test_malformed_fault_set(self):
+        with pytest.raises(QueryError):
+            DistanceQuery(0, 1, [(1,)])
+
+    def test_pair_report(self):
+        ok = PairReport(base=3, distance=5)
+        assert ok.stretch == 2 and not ok.disconnected
+        cut = PairReport(base=3, distance=UNREACHABLE)
+        assert cut.stretch is None and cut.disconnected
+
+
+class TestPlannerValidation:
+    def test_mixed_weightedness_raises(self, grid4):
+        session = Session(grid4)
+        with pytest.raises(QueryError, match="mixed"):
+            session.answer([
+                DistanceQuery(0, 1, weighted=False),
+                DistanceQuery(0, 2, weighted=True),
+            ])
+
+    def test_weighted_flag_must_match_engine(self, grid4):
+        session = Session(grid4)
+        with pytest.raises(QueryError, match="unweighted"):
+            session.answer([DistanceQuery(0, 1, weighted=True)])
+        wg = WeightedGraph(3)
+        wg.add_edge(0, 1, 2)
+        wg.add_edge(1, 2, 3)
+        wsession = Session(wg)
+        with pytest.raises(QueryError, match="weighted"):
+            wsession.answer([DistanceQuery(0, 1, weighted=False)])
+        # matching declarations are served
+        assert wsession.answer_one(
+            DistanceQuery(0, 2, weighted=True)
+        ).value == 5
+
+    def test_unknown_vertex_raises(self, grid4):
+        session = Session(grid4)
+        with pytest.raises(QueryError, match="target"):
+            session.answer([DistanceQuery(0, 99)])
+        with pytest.raises(QueryError, match="source"):
+            session.answer([VectorQuery(-1)])
+
+    def test_fault_edge_with_unknown_vertex_raises(self, grid4):
+        session = Session(grid4)
+        # a typo'd fault endpoint must not silently read as
+        # "touches nothing" (base distance with filter provenance)
+        with pytest.raises(QueryError, match="fault edge"):
+            session.answer([DistanceQuery(0, 15, [(99, 100)])])
+        # ...but an absent edge between existing vertices is a no-op,
+        # matching the engine-wide without() convention
+        assert session.answer_one(
+            DistanceQuery(0, 15, [(0, 15)])
+        ).value == 6
+
+    def test_non_query_rejected(self, grid4):
+        session = Session(grid4)
+        with pytest.raises(QueryError):
+            session.answer([(0, 1, ())])
+
+    def test_restoration_needs_scheme_and_unweighted(self, grid4,
+                                                     grid_scheme):
+        q = RestorationQuery(0, 15, (next(iter(grid4.edges())),))
+        with pytest.raises(QueryError, match="scheme"):
+            Session(grid4).answer([q])
+        wg = WeightedGraph(3)
+        wg.add_edge(0, 1, 2)
+        wg.add_edge(1, 2, 3)
+        with pytest.raises(QueryError, match="weighted"):
+            Session(wg).answer([RestorationQuery(0, 2, ((0, 1),))])
+        other = generators.grid(4, 4)
+        with pytest.raises(QueryError, match="same base graph"):
+            Session(other).answer([q], scheme=grid_scheme)
+
+    def test_session_graph_engine_mismatch(self, grid4, torus4):
+        engine = _quiet_engine(torus4)
+        with pytest.raises(QueryError):
+            Session(grid4, engine=engine)
+        with pytest.raises(QueryError):
+            Session()
+
+
+class TestAnswerEquality:
+    def test_mixed_stream_matches_per_call_paths(self, er_medium):
+        g = er_medium
+        faults = random_fault_sets(g, 2, 6, seed=5)
+        stream = []
+        for F in faults:
+            stream += [DistanceQuery(s, t, F)
+                       for s in (0, 1, 2) for t in (g.n - 1, g.n - 2)]
+            stream += [
+                PairQuery(3, g.n - 1, F),
+                VectorQuery(4, F),
+                EccentricityQuery(5, F),
+                ConnectivityQuery(F),
+            ]
+        session = Session(g)
+        answers = session.answer(stream)
+        reference = _quiet_engine(g)
+        assert len(answers) == len(stream)
+        for q, a in zip(stream, answers):
+            assert a.query is q
+            assert a.value == _reference_value(reference, q)
+
+    def test_disconnecting_faults(self):
+        g = generators.path(4)
+        session = Session(g)
+        d, e, c = session.answer([
+            DistanceQuery(0, 3, [(1, 2)]),
+            EccentricityQuery(0, [(1, 2)]),
+            ConnectivityQuery([(1, 2)]),
+        ])
+        assert d.value == UNREACHABLE
+        assert e.value == UNREACHABLE
+        assert c.value is False
+
+    def test_duplicates_and_order(self, grid4):
+        session = Session(grid4)
+        q = DistanceQuery(0, 15, [(0, 1)])
+        answers = session.answer([q, VectorQuery(0, [(0, 1)]), q])
+        assert answers[0].value == answers[2].value
+        assert answers[1].value[15] == answers[0].value
+
+    def test_restoration_matches_engine_sweep(self, grid4, grid_scheme):
+        path = grid_scheme.path(0, 15)
+        instances = [(0, 15, e) for e in path.edges()]
+        session = Session(grid4, scheme=grid_scheme)
+        answers = session.answer(
+            RestorationQuery(s, t, (e,)) for s, t, e in instances
+        )
+        ref = _quiet_engine(grid4).restoration_sweep(grid_scheme,
+                                                     instances)
+        assert [a.value for a in answers] == [r.value for r in ref]
+        assert all(a.provenance.kernel == "restoration_sweep"
+                   for a in answers)
+
+
+class TestProvenanceAndCaches:
+    def test_replay_is_all_cache_and_counts_match_cache_info(self,
+                                                             er_medium):
+        g = er_medium
+        faults = random_fault_sets(g, 1, 4, seed=9)
+        stream = []
+        for F in faults:
+            stream += [DistanceQuery(s, g.n - 1, F) for s in range(6)]
+            stream += [VectorQuery(7, F), EccentricityQuery(8, F)]
+        session = Session(g)
+        before = dict(session.cache_info())
+        first = session.answer(stream)
+        mid = dict(session.cache_info())
+        # every pair query either hit or missed the pair memo exactly
+        # once; no pair was cached yet, so misses == pair queries
+        n_pairs = sum(isinstance(q, DistanceQuery) for q in stream)
+        assert mid["misses"] - before["misses"] == n_pairs
+        assert mid["hits"] - before["hits"] == 0
+        assert all(not a.cached for a in first)
+        second = session.answer(stream)
+        after = dict(session.cache_info())
+        assert all(a.cached for a in second)
+        # replayed pair queries are pure pair-memo hits...
+        assert after["hits"] - mid["hits"] == n_pairs
+        assert after["misses"] == mid["misses"]
+        # ...and replayed vector/eccentricity queries are vector-cache
+        # hits, one counted hit per replayed vector-backed answer.
+        n_vec = sum(isinstance(q, (VectorQuery, EccentricityQuery))
+                    for q in stream)
+        assert after["vector_hits"] - mid["vector_hits"] == n_vec
+        assert after["vector_misses"] == mid["vector_misses"]
+
+    def test_wave_provenance_records_kernel_and_size(self, er_medium):
+        g = er_medium
+        e = next(iter(g.edges()))
+        session = Session(g)
+        answers = session.answer([VectorQuery(0, (e,)),
+                                  VectorQuery(1, (e,))])
+        for a in answers:
+            assert a.waved
+            assert a.provenance.kernel == "csr_bfs_distances_many"
+            assert a.provenance.wave_size == 2
+        assert session.stats.waves == 1
+
+    def test_touch_filter_provenance(self, grid4):
+        session = Session(grid4)
+        # a fault on the far corner cannot touch dist(0, 1)
+        a = session.answer_one(DistanceQuery(0, 1, [(11, 15)]))
+        assert a.provenance.source == "filter"
+        assert a.value == 1
+
+    def test_vector_left_by_wave_serves_pairs_from_cache(self, grid4):
+        session = Session(grid4)
+        F = ((0, 1),)
+        session.answer([VectorQuery(0, F)])
+        a = session.answer_one(DistanceQuery(0, 15, F))
+        assert a.cached and a.provenance.detail == "vector-cache"
+
+    def test_cache_info_is_frozen_dataclass(self, grid4):
+        info = _quiet_engine(grid4).cache_info()
+        assert isinstance(info, CacheInfo)
+        assert info.hits == 0 and info["hits"] == 0
+        assert dict(info)["maxsize"] == info.maxsize
+        assert "hits" in info and "nope" not in info
+        assert list(info) == list(info.keys())
+        with pytest.raises(KeyError):
+            info["nope"]
+        with pytest.raises(Exception):
+            info.hits = 5
+        assert info == dict(info)  # PR-2 raw-dict idiom still compares
+
+    def test_missing_scheme_raises_before_any_kernel_runs(self, grid4):
+        session = Session(grid4)
+        e = next(iter(grid4.edges()))
+        with pytest.raises(QueryError, match="scheme"):
+            session.answer([
+                DistanceQuery(0, 15, (e,)),
+                RestorationQuery(0, 15, (e,)),
+            ])
+        # the distance group must not have run: caches untouched
+        assert dict(session.cache_info()) == dict(
+            _quiet_engine(grid4).cache_info()
+        )
+
+    def test_connectivity_rides_any_cached_vector(self, grid4):
+        session = Session(grid4)
+        F = ((0, 1),)
+        session.answer([VectorQuery(5, F)])
+        waves_before = session.stats.waves
+        d, c = session.answer([DistanceQuery(5, 15, F),
+                               ConnectivityQuery(F)])
+        assert d.cached and c.value is True
+        assert session.stats.waves == waves_before  # no extra traversal
+        # a connectivity-only gather also finds the (5, F) vector,
+        # even though it is not cached under source 0
+        c2 = session.answer_one(ConnectivityQuery(F))
+        assert c2.cached and session.stats.waves == waves_before
+
+
+class TestTargetSideBatching:
+    def test_skewed_group_waves_from_targets(self, er_medium):
+        g = er_medium
+        e = next(iter(g.edges()))
+        # many sources, one target: waving from the target costs one
+        # traversal instead of eight.
+        stream = [DistanceQuery(s, g.n - 1, (e,)) for s in range(8)]
+        planner = Planner(_quiet_engine(g))
+        plan = planner.plan(stream)
+        (group,) = plan.groups
+        assert group.side == "target"
+        assert group.cost_target == 1 and group.cost_source == 8
+        answers = planner.execute(plan)
+        ref = _quiet_engine(g)
+        for q, a in zip(stream, answers):
+            assert a.value == _reference_value(ref, q)
+        waved = [a for a in answers if a.waved]
+        assert all(a.provenance.side == "target" for a in waved)
+        assert group.wave_size <= 1  # at most the one target traversal
+
+    def test_unskewed_group_stays_on_source_side(self, er_medium):
+        g = er_medium
+        e = next(iter(g.edges()))
+        stream = [DistanceQuery(0, t, (e,)) for t in range(5, 13)]
+        plan = Planner(_quiet_engine(g)).plan(stream)
+        assert plan.groups[0].side == "source"
+
+    def test_pinned_vector_sources_enter_the_cost_model(self, er_medium):
+        g = er_medium
+        e = next(iter(g.edges()))
+        # 3 pair-sources + the same 3 pinned by vector queries vs 2
+        # targets: target side still needs the pinned sources, so
+        # source side (3) beats target side (2 + 3).
+        stream = [DistanceQuery(s, g.n - 1 - s % 2, (e,))
+                  for s in range(3)]
+        stream += [VectorQuery(s, (e,)) for s in range(3)]
+        plan = Planner(_quiet_engine(g)).plan(stream)
+        (group,) = plan.groups
+        assert group.cost_source == 3 and group.cost_target == 5
+        assert group.side == "source"
+
+    def test_antisymmetric_weights_never_flip(self):
+        g = generators.cycle(6)
+        csr = g.csr().with_arc_weights(
+            lambda u, v: 1 if u < v else 2  # antisymmetric
+        )
+        engine = _quiet_engine(csr)
+        assert engine.weighted and not engine.symmetric_weights
+        stream = [DistanceQuery(s, 3, ((0, 1),)) for s in (0, 1, 2)]
+        plan = Planner(engine).plan(stream)
+        assert plan.groups[0].side == "source"
+
+
+class TestSessionFacade:
+    def test_submit_gather_drains_in_order(self, grid4):
+        session = Session(grid4)
+        session.submit(DistanceQuery(0, 15))
+        session.submit([VectorQuery(1)], ConnectivityQuery())
+        assert session.pending == 3
+        answers = session.gather()
+        assert session.pending == 0
+        assert [type(a.query) for a in answers] == [
+            DistanceQuery, VectorQuery, ConnectivityQuery
+        ]
+        assert answers[0].value == 6 and answers[2].value is True
+
+    def test_submit_rejects_non_queries(self, grid4):
+        session = Session(grid4)
+        with pytest.raises(QueryError):
+            session.submit(42)
+
+    def test_answer_async(self, grid4):
+        session = Session(grid4)
+
+        async def go():
+            return await session.answer_async(
+                [DistanceQuery(0, 15, [(0, 1)])]
+            )
+
+        (a,) = asyncio.run(go())
+        assert a.value == 6
+
+    def test_adopts_existing_engine(self, grid4):
+        engine = _quiet_engine(grid4)
+        engine.base_distances(0)  # warm
+        session = Session(engine=engine)
+        assert session.engine is engine
+        assert session.answer_one(DistanceQuery(0, 15)).value == 6
+
+    def test_adopt_resolves_the_consumer_idiom(self, grid4, torus4):
+        fresh = Session.adopt(grid4)
+        assert fresh.graph is grid4
+        engine = _quiet_engine(grid4)
+        wrapped = Session.adopt(grid4, engine=engine)
+        assert wrapped.engine is engine
+        reused = Session.adopt(grid4, engine=engine, session=wrapped)
+        assert reused is wrapped
+        with pytest.raises(GraphError):
+            Session.adopt(torus4, engine=engine)
+        with pytest.raises(GraphError):
+            Session.adopt(torus4, session=wrapped)
+        with pytest.raises(GraphError):  # disagreeing pair
+            Session.adopt(grid4, engine=_quiet_engine(grid4),
+                          session=wrapped)
+
+    def test_preserver_violations_facade(self, grid4):
+        session = Session(grid4)
+        edges = list(grid4.edges())
+        targets = list(grid4.vertices())
+        bad = session.preserver_violations(
+            edges[:-1], [0, 15], [()], targets=targets,
+        )
+        assert bad  # dropping a grid edge loses some S x V distance
+        full = session.preserver_violations(edges, [0, 15], [()],
+                                            targets=targets)
+        assert full == []
+
+    def test_stats_and_repr(self, grid4):
+        session = Session(grid4)
+        session.answer([DistanceQuery(0, 15, [(0, 1)])])
+        assert session.stats.answers == 1
+        assert "Session(" in repr(session)
+
+    def test_deprecated_engine_methods_still_work_and_warn(self, grid4):
+        engine = _quiet_engine(grid4)
+        with pytest.warns(DeprecationWarning):
+            dists = engine.replacement_distances(0, 15, [((0, 1),)])
+        assert dists == [6]
+        with pytest.warns(DeprecationWarning):
+            assert engine.connectivity([()]) == [True]
