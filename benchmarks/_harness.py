@@ -46,22 +46,57 @@ def emit_json(name: str, payload: Dict) -> pathlib.Path:
     Written next to the ``.txt`` tables under ``benchmarks/results/``,
     so CI and trend tooling can consume the numbers without parsing
     the human-facing render.  The top-level ``BENCH_SUMMARY.json`` is
-    refreshed from the full results directory on every write.
+    refreshed from the full results directory on every write, and a
+    ``history`` entry (bench name + params + headline speedup) is
+    appended for this run — ``results/*.json`` keeps only the latest
+    snapshot per bench, so the history list is what actually records
+    the perf trajectory across PRs.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    aggregate_summary()
+    params = payload.get("params")
+    aggregate_summary(history_entry={
+        "bench": name,
+        "params": params,
+        "speedup": payload.get("speedup"),
+        # Uniform top-level marker so trend tooling can filter CI
+        # smoke runs out of the trajectory without digging into each
+        # bench's params shape (None = the bench didn't say).
+        "quick": (params.get("quick")
+                  if isinstance(params, dict) else None),
+    })
     return path
 
 
-def aggregate_summary() -> pathlib.Path:
+def _load_history() -> List[Dict]:
+    """The history list carried in the existing summary (if any).
+
+    The history lives only in ``BENCH_SUMMARY.json`` itself — the
+    per-bench files are latest-run snapshots — so it must be read
+    back before the summary is rewritten, or every run would erase
+    the trajectory it is supposed to record.
+    """
+    try:
+        previous = json.loads(SUMMARY_PATH.read_text())
+    except (OSError, ValueError):
+        return []
+    if not isinstance(previous, dict):
+        return []
+    history = previous.get("history")
+    return history if isinstance(history, list) else []
+
+
+def aggregate_summary(history_entry: Optional[Dict] = None) -> pathlib.Path:
     """Fold every ``results/*.json`` into the top-level summary.
 
     The summary maps each bench name to its latest full payload plus a
     flat ``speedups`` index (bench -> headline speedup, taken from the
     payload's ``speedup`` key when present) so trend tooling can diff
-    the perf trajectory across PRs with one lookup.
+    the perf trajectory across PRs with one lookup, and an append-only
+    ``history`` list — one entry per ``emit_json`` run, preserved
+    across rebuilds — recording the run-over-run trajectory that the
+    latest-snapshot ``benches`` mapping forgets.
     """
     benches: Dict[str, Dict] = {}
     speedups: Dict[str, float] = {}
@@ -76,10 +111,14 @@ def aggregate_summary() -> pathlib.Path:
         headline = payload.get("speedup")
         if isinstance(headline, (int, float)):
             speedups[path.stem] = headline
+    history = _load_history()
+    if history_entry is not None:
+        history.append(history_entry)
     summary = {
         "source": str(RESULTS_DIR.relative_to(SUMMARY_PATH.parent)),
         "benches": benches,
         "speedups": speedups,
+        "history": history,
     }
     SUMMARY_PATH.write_text(
         json.dumps(summary, indent=2, sort_keys=True) + "\n"

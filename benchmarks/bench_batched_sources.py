@@ -161,10 +161,15 @@ def run_pair_stream(n: int, num_faults: int, num_sources: int,
     reference = [
         bfs_distances(graph.without(f), s)[t] for s, t, f in stream
     ]
-    loop_engine = ScenarioEngine(graph)
+    # delta=False on BOTH sides: this experiment isolates the
+    # cross-pair wave sharing of evaluate_pairs; the PR-5 delta path
+    # would patch most single-fault scenarios on either side and
+    # measure the repair kernels instead (bench_incremental.py
+    # covers those).
+    loop_engine = ScenarioEngine(graph, delta=False)
     loop, loop_s = timed(per_pair_loop, loop_engine, stream)
 
-    batch_engine = ScenarioEngine(graph)
+    batch_engine = ScenarioEngine(graph, delta=False)
     batched, batch_s = timed(batch_engine.evaluate_pairs, stream)
 
     if loop != reference or batched != reference:

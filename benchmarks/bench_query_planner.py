@@ -139,10 +139,14 @@ def run_experiment(quick: bool, seed: int):
     stream = build_stream(graph, num_faults, num_sources, num_targets,
                           per_fault, seed + 1)
 
-    loop_engine = ScenarioEngine(graph)
+    # delta=False on BOTH sides: this bench isolates the grouping
+    # advantage (planner waves vs per-call methods); the PR-5 delta
+    # path would patch most scenarios on either side and measure the
+    # repair kernels instead (bench_incremental.py covers those).
+    loop_engine = ScenarioEngine(graph, delta=False)
     loop, loop_s = timed(per_method_loop, loop_engine, stream)
 
-    session = Session(graph)
+    session = Session(graph, delta=False)
     plan = session.planner.plan(stream)
     target_side_groups = sum(1 for g in plan.groups if g.side == "target")
     answers, plan_s = timed(session.answer, stream)

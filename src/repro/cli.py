@@ -196,7 +196,8 @@ def cmd_query(args) -> int:
     )
     st = session.stats
     print(f"answers: {st.cache} cache / {st.filter} filter / "
-          f"{st.wave} wave (served by {st.waves} batched waves)")
+          f"{st.delta} delta / {st.wave} wave "
+          f"(served by {st.waves} batched waves)")
     print(f"degraded monitored-pair answers: {degraded}; "
           f"disconnecting fault sets: {cut}/{len(scenarios)}")
     info = session.cache_info()

@@ -29,7 +29,13 @@ of :class:`~repro.query.queries.VectorQuery` objects: the planner
 groups it by canonical fault set, so each tree edge is masked once and
 one bit-packed multi-source wave computes the replacement rows of
 every source whose tree contains that edge (the transposition PR 3
-hand-rolled now falls out of planning).  Query streams go through
+hand-rolled now falls out of planning).  Since PR 5 the scheme's trees
+are donated to the engine's incremental-delta path
+(:meth:`~repro.scenarios.engine.ScenarioEngine.adopt_base_tree`):
+every preprocessing fault is a tree edge, so a row whose orphaned
+subtree is small is *patched* from the base row instead of traversed
+at all (see :attr:`SourcewiseDSO.preprocessing_provenance`).  Query
+streams go through
 :meth:`SourcewiseDSO.query_many`, which hoists the per-query
 validation and dictionary plumbing out of the loop.
 """
@@ -99,6 +105,7 @@ class SourcewiseDSO:
         self._rows: Dict[Tuple[int, Edge], List[int]] = {}
         self._preprocessed_edges = 0
         self._substrate_edges = 0
+        self._row_provenance: Dict[str, int] = {}
 
         trees = {s: self._scheme.tree(s) for s in self._sources}
         # Base rows for every source in one fault-free batch wave.
@@ -107,6 +114,14 @@ class SourcewiseDSO:
                 VectorQuery(s) for s in self._sources
             )
         )))
+        # Donate the scheme's trees to the engine's delta path: every
+        # preprocessing fault is a tree edge of some source, exactly
+        # the regime where patching the orphaned subtree beats a full
+        # wave — and the tree the engine would otherwise re-derive
+        # per source is already in hand.
+        if not self._engine.weighted and self._engine.delta_enabled:
+            for s in self._sources:
+                self._engine.adopt_base_tree(s, trees[s])
         for s in self._sources:
             self._path_edges[s] = self._selected_path_edges(s, trees[s])
         if use_preserver:
@@ -152,6 +167,8 @@ class SourcewiseDSO:
         for (s, e), answer in zip(stream, answers):
             self._rows[(s, e)] = answer.value
             self._preprocessed_edges += 1
+            kind = answer.provenance.source
+            self._row_provenance[kind] = self._row_provenance.get(kind, 0) + 1
 
     def _preprocess_in_preserver(self, s: int, tree) -> None:
         """Replacement rows inside the source's own 1-FT preserver.
@@ -170,6 +187,8 @@ class SourcewiseDSO:
         for e, answer in zip(tree_edges, answers):
             self._rows[(s, e)] = answer.value
             self._preprocessed_edges += 1
+            kind = answer.provenance.source
+            self._row_provenance[kind] = self._row_provenance.get(kind, 0) + 1
 
     # ------------------------------------------------------------------
     @property
@@ -191,6 +210,16 @@ class SourcewiseDSO:
         """Total edges of the graphs the preprocessing BFS ran on —
         the work saved (or not) by ``use_preserver``."""
         return self._substrate_edges
+
+    @property
+    def preprocessing_provenance(self) -> Dict[str, int]:
+        """How the replacement rows were served, by provenance kind.
+
+        A counter over ``{"cache", "filter", "delta", "wave"}`` — on a
+        delta-enabled unweighted engine the tree-edge fault stream is
+        the delta sweet spot, so most rows should report ``"delta"``.
+        """
+        return dict(self._row_provenance)
 
     def space_entries(self) -> int:
         """Stored distance entries (the oracle's space, in words)."""

@@ -31,7 +31,8 @@ The contract:
   planner group regardless of spelling.
 * **Order.**  Answers align with the submitted stream, one typed
   :class:`Answer` per query, each tagged with :class:`Provenance`
-  (``cache`` / ``filter`` / ``wave``, plus the kernel and wave side).
+  (``cache`` / ``filter`` / ``delta`` / ``wave``, plus the kernel and
+  wave side).
 * **Conventions.**  Distance values use the library-wide dense
   conventions: ``UNREACHABLE`` (-1) for cut-off pairs, read-only
   vectors shared with the engine caches.
@@ -42,10 +43,12 @@ The contract:
   silently serving the wrong kernel.
 * **Batching.**  The planner groups the stream by canonical fault
   set, answers what it can from the engine's memo/vector caches and
-  touch filter, and serves each group's remainder with one masked
-  multi-source wave — waved from whichever side (sources or targets)
-  costs fewer traversals, since distances are symmetric on an
-  undirected graph (antisymmetric weighted snapshots never flip).
+  touch filter, patches wave starts whose orphaned region is small
+  (the incremental-delta path, :mod:`repro.incremental`), and serves
+  each group's remainder with one masked multi-source wave — waved
+  from whichever side (sources or targets) costs fewer traversals,
+  since distances are symmetric on an undirected graph (antisymmetric
+  weighted snapshots never flip).
 
 Entry points
 ------------

@@ -6,7 +6,10 @@ runs* (mixed weightedness, unknown vertices, unservable kinds all
 raise :class:`~repro.exceptions.QueryError`), groups it by canonical
 fault set, and serves each group with **one** batched multi-source
 wave — after the engine's cheaper layers (pair memo, vector cache,
-touch filter) have answered everything they can.
+touch filter, and since PR 5 the incremental-delta patch: wave starts
+whose orphaned region is small are served by
+:meth:`~repro.scenarios.engine.ScenarioEngine.try_delta` and tagged
+with ``"delta"`` provenance) have answered everything they can.
 
 Side choice (the ROADMAP's target-side batching): within a group the
 distance/pair queries could be waved from their sources *or* — since
@@ -312,35 +315,68 @@ class Planner:
                 conn_vector = cached
             elif engine.csr.n:
                 wave[0] = None
+        # Phase 1.5: the delta path — wave starts whose orphaned
+        # region the engine's cost model deems small are patched from
+        # the base vectors instead of traversed (the vector lands in
+        # the LRU either way); what the patch cannot serve stays in
+        # the wave.
+        rows: Dict[int, List[int]] = {}
+        delta_rows = set()
+        if wave and fault_key and getattr(engine, "delta_enabled", False):
+            batch_hint = len(wave)
+            for origin in list(wave):
+                vec = engine.try_delta(origin, fault_key,
+                                       batch_hint=batch_hint)
+                if vec is not None:
+                    rows[origin] = vec
+                    delta_rows.add(origin)
+                    del wave[origin]
         # Phase 2: one batched multi-source wave serves every pending
         # query (and populates the vector cache for later gathers).
-        rows: Dict[int, List[int]] = {}
         if wave:
             batch = list(wave)
-            vectors = engine.source_vectors(batch, fault_key)
-            rows = dict(zip(batch, vectors))
+            # try_delta=False: the delta offers already ran above (the
+            # planner needs per-source attribution for provenance);
+            # re-offering here would re-estimate and double-count.
+            vectors = engine.source_vectors(batch, fault_key,
+                                            try_delta=False)
+            rows.update(zip(batch, vectors))
             group.wave_size = len(batch)
             plan.waves += 1
         wave_of = Provenance("wave", "masked-wave", kernel=kernel,
                              side=group.side, wave_size=group.wave_size)
+        delta_of = Provenance(
+            "delta", "patched-region",
+            kernel=("csr_dijkstra_repair" if engine.weighted
+                    else "csr_bfs_repair"),
+            side=group.side,
+        )
         for i in pending:
             q = queries[i]
             if isinstance(q, _PAIR_KINDS):
-                row = rows[q.target if flip else q.source]
-                dist = row[q.source if flip else q.target]
+                origin = q.target if flip else q.source
+                dist = rows[origin][q.source if flip else q.target]
                 engine.store_pair(q.source, q.target, fault_key, dist)
-                answers[i] = Answer(q, self._pair_value(q, dist), wave_of)
+                answers[i] = Answer(
+                    q, self._pair_value(q, dist),
+                    delta_of if origin in delta_rows else wave_of,
+                )
             else:
-                answers[i] = Answer(q, self._vector_value(q, rows[q.source]),
-                                    wave_of)
+                answers[i] = Answer(
+                    q, self._vector_value(q, rows[q.source]),
+                    delta_of if q.source in delta_rows else wave_of,
+                )
         for i in conn:
             q = queries[i]
             if engine.csr.n == 0:
                 answers[i] = Answer(q, True, Provenance("filter", "empty"))
                 continue
             if rows:
-                vec = next(iter(rows.values()))
-                answers[i] = Answer(q, UNREACHABLE not in vec, wave_of)
+                origin, vec = next(iter(rows.items()))
+                answers[i] = Answer(
+                    q, UNREACHABLE not in vec,
+                    delta_of if origin in delta_rows else wave_of,
+                )
             else:
                 answers[i] = Answer(q, UNREACHABLE not in conn_vector,
                                     Provenance("cache", "vector-cache"))

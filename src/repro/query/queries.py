@@ -176,6 +176,11 @@ class Provenance:
       which cache.
     * ``"filter"`` — the touch filter proved the fault set off every
       shortest path, so the base distance was returned in O(|F|).
+    * ``"delta"`` — the fault set's orphaned region was small, so the
+      answer was *patched* from the base vector by a repair kernel
+      (:mod:`repro.incremental`) instead of re-traversing; ``kernel``
+      names the repair kernel, ``side`` the patched origin's side for
+      pair-type queries.
     * ``"wave"`` — computed by a batched kernel call in this gather;
       ``kernel`` names it, ``wave_size`` counts the sources the wave
       served, and ``side`` records the waved side (``"source"`` /
@@ -204,3 +209,7 @@ class Answer:
     @property
     def waved(self) -> bool:
         return self.provenance.source == "wave"
+
+    @property
+    def patched(self) -> bool:
+        return self.provenance.source == "delta"

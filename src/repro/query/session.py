@@ -45,6 +45,7 @@ class SessionStats:
     waves: int = 0
     cache: int = 0
     filter: int = 0
+    delta: int = 0
     wave: int = 0
 
     def record(self, plan: Plan, answers: List[Answer]) -> None:
@@ -57,6 +58,8 @@ class SessionStats:
                 self.cache += 1
             elif kind == "filter":
                 self.filter += 1
+            elif kind == "delta":
+                self.delta += 1
             else:
                 self.wave += 1
 
@@ -79,6 +82,10 @@ class Session:
     memoize:
         LRU capacity for a freshly built engine (see
         :class:`ScenarioEngine`).
+    delta:
+        Incremental-delta strategy for a freshly built engine (see
+        :class:`ScenarioEngine`; ignored when adopting an ``engine``,
+        whose own setting governs).
 
     Example
     -------
@@ -91,11 +98,11 @@ class Session:
     """
 
     def __init__(self, graph=None, *, engine: Optional[ScenarioEngine] = None,
-                 scheme=None, memoize: int = 4096):
+                 scheme=None, memoize: int = 4096, delta: bool = True):
         if engine is None:
             if graph is None:
                 raise QueryError("Session needs a graph or an engine")
-            engine = ScenarioEngine(graph, memoize=memoize)
+            engine = ScenarioEngine(graph, memoize=memoize, delta=delta)
         elif graph is not None and engine.graph is not graph:
             raise QueryError(
                 "engine was built over a different graph; pass one or "
@@ -255,6 +262,7 @@ class Session:
         return (
             f"Session(n={self.engine.csr.n}, m={self.engine.csr.m}, "
             f"weighted={self.engine.weighted}, answers={st.answers} "
-            f"({st.cache}c/{st.filter}f/{st.wave}w in {st.waves} waves), "
+            f"({st.cache}c/{st.filter}f/{st.delta}d/{st.wave}w in "
+            f"{st.waves} waves), "
             f"pending={len(self._pending)})"
         )

@@ -7,7 +7,8 @@ citizen:
 
 * :mod:`repro.scenarios.enumerate` — deterministic scenario streams
   (all single faults, exhaustive ``|F| <= f`` subsets, seeded random
-  samples, adversarial tree-edge faults);
+  samples, adversarial tree-edge faults, clustered regional
+  failures);
 * :mod:`repro.scenarios.engine` — :class:`~repro.scenarios.engine.ScenarioEngine`,
   which amortises shared state (CSR snapshot, base BFS vectors,
   selected trees and their subtree-interval indices) across the stream
@@ -42,6 +43,7 @@ from repro.scenarios.engine import (
 from repro.scenarios.enumerate import (
     FaultSet,
     all_fault_subsets,
+    clustered_fault_sets,
     random_fault_sets,
     single_edge_faults,
     tree_edge_faults,
@@ -54,6 +56,7 @@ __all__ = [
     "TreeFaultIndex",
     "FaultSet",
     "all_fault_subsets",
+    "clustered_fault_sets",
     "random_fault_sets",
     "single_edge_faults",
     "tree_edge_faults",

@@ -30,7 +30,18 @@ amortising everything that does not depend on the individual scenario:
   the arc array serves the whole source batch, and
   :meth:`ScenarioEngine.evaluate_pairs` groups an arbitrary
   ``(s, t, F)`` pair stream by canonical fault set so each masked wave
-  serves every pair sharing that ``F``.
+  serves every pair sharing that ``F``;
+* *incremental deltas* (:mod:`repro.incremental`): a fault set whose
+  orphaned region — the subtrees of the source's base SPT hanging
+  below faulted tree edges — is small gets its distance vector
+  *patched* from the base vector by a repair kernel instead of paying
+  a full masked traversal.  :meth:`ScenarioEngine.try_delta` reads
+  the orphan count off the :class:`TreeFaultIndex` subtree intervals
+  in ``O(|F| log |F|)``, consults an explicit
+  :class:`~repro.incremental.affected.CostModel`, and falls back to
+  the wave path when the region is large (``delta_hits`` /
+  ``delta_fallbacks`` counters in :meth:`cache_info`; ``delta=False``
+  disables the strategy).
 
 The engine is weight-aware: handed a
 :class:`~repro.weighted.graph.WeightedGraph` (or any graph whose CSR
@@ -80,6 +91,8 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 from repro.exceptions import GraphError
 from repro.graphs.base import Edge, Graph, canonical_edge
 from repro.graphs.csr import CSRFaultView, CSRGraph
+from repro.incremental.affected import CostModel, affected_region
+from repro.incremental.repair import csr_bfs_repair, csr_dijkstra_repair
 from repro.scenarios.enumerate import FaultSet, _canonical
 from repro.spt.batched import (
     csr_bfs_distances_many,
@@ -88,11 +101,13 @@ from repro.spt.batched import (
 from repro.spt.bfs import UNREACHABLE
 from repro.spt.fastpaths import (
     csr_bfs_distances,
+    csr_bfs_tree,
     csr_dijkstra_flat,
     csr_hop_distance,
     csr_weighted_distance,
     csr_weighted_distances,
 )
+from repro.spt.trees import ShortestPathTree
 
 __all__ = ["CacheInfo", "ScenarioEngine", "ScenarioResult",
            "TreeFaultIndex"]
@@ -115,8 +130,12 @@ class CacheInfo:
     ``hits`` / ``misses`` / ``evictions`` cover the per-pair
     ``(s, t, F)`` memo (names kept from PR 2 for back-compat);
     ``vector_*`` cover the per-``(source, F)`` distance-vector cache.
-    ``size`` counts entries of both kinds; ``maxsize`` bounds their
-    sum — one eviction policy.
+    ``delta_hits`` counts vectors served by *patching* the base
+    vector over a small affected region (:mod:`repro.incremental`),
+    ``delta_fallbacks`` the scenarios whose region was too large, so
+    the cost model sent them back to the full-wave path.  ``size``
+    counts entries of both kinds; ``maxsize`` bounds their sum — one
+    eviction policy.
 
     Attribute access is the canonical interface; ``__getitem__`` and
     ``keys`` keep the pre-existing mapping idiom working, so
@@ -130,6 +149,8 @@ class CacheInfo:
     vector_hits: int
     vector_misses: int
     vector_evictions: int
+    delta_hits: int
+    delta_fallbacks: int
     size: int
     maxsize: int
 
@@ -258,24 +279,72 @@ class TreeFaultIndex:
         }
         self._all: Optional[frozenset] = None
 
-    def fault_free_vertices(self, faults: Iterable[Edge]) -> Set[int]:
-        """Vertices whose selected root-path avoids every fault edge."""
+    def cut_intervals(self, faults: Iterable[Edge]
+                      ) -> List[Tuple[int, int]]:
+        """Disjoint, sorted Euler intervals cut by the faulted tree edges.
+
+        Subtree intervals are laminar (disjoint or nested), so after
+        sorting, an interval starting inside the running frontier is
+        nested under an already-cut subtree and dropped.  O(|F| log
+        |F|) — no vertex is touched.  Callers needing both the orphan
+        count and the orphans themselves should compute the intervals
+        once and feed them to :meth:`orphans_of_intervals` (what
+        :func:`repro.incremental.affected.affected_region` does).
+        """
         cut: List[Tuple[int, int]] = []
         for u, v in faults:
             child = self._edge_child.get(canonical_edge(u, v))
             if child is not None:
                 cut.append((self._enter[child], self._exit[child]))
+        cut.sort()
+        merged: List[Tuple[int, int]] = []
+        pos = 0
+        for lo, hi in cut:
+            if lo < pos:  # nested under an already-cut subtree
+                continue
+            merged.append((lo, hi))
+            pos = hi
+        return merged
+
+    def orphan_estimate(self, faults: Iterable[Edge]) -> int:
+        """How many vertices hang below a faulted tree edge — exact,
+        in O(|F| log |F|), without materialising any of them.
+
+        Each vertex appears once in the Euler tour, so a cut
+        interval's length *is* its subtree's size; the estimate is
+        the summed length of the merged intervals.  This is what lets
+        the delta cost model (:mod:`repro.incremental.affected`)
+        reject a half-the-graph fault set for the price of interval
+        arithmetic.
+        """
+        return sum(hi - lo for lo, hi in self.cut_intervals(faults))
+
+    def orphans_of_intervals(self, intervals: Iterable[Tuple[int, int]]
+                             ) -> List[int]:
+        """Materialise the vertices of already-computed cut intervals
+        (O(|orphans|)) — the second half of :meth:`orphaned_vertices`
+        for callers that sized the region first."""
+        out: List[int] = []
+        for lo, hi in intervals:
+            out.extend(self._tour[lo:hi])
+        return out
+
+    def orphaned_vertices(self, faults: Iterable[Edge]) -> List[int]:
+        """The vertices below some faulted tree edge — the complement
+        of :meth:`fault_free_vertices` within the tree, materialised
+        in O(|F| log |F| + |orphans|)."""
+        return self.orphans_of_intervals(self.cut_intervals(faults))
+
+    def fault_free_vertices(self, faults: Iterable[Edge]) -> Set[int]:
+        """Vertices whose selected root-path avoids every fault edge."""
+        cut = self.cut_intervals(faults)
         if not cut:
             if self._all is None:
                 self._all = frozenset(self._tour)
             return set(self._all)
-        cut.sort()
         good: List[int] = []
         pos = 0
         for lo, hi in cut:
-            if lo < pos:  # nested under an already-cut subtree
-                pos = max(pos, hi)
-                continue
             good.extend(self._tour[pos:lo])
             pos = hi
         good.extend(self._tour[pos:])
@@ -307,6 +376,17 @@ class ScenarioEngine:
         vector-heavy streams.  (Vectors handed to long-lived
         consumers, e.g. DSO preprocessing rows, are aliased — the
         cache holds a reference to the same list, not a copy.)
+    delta:
+        Enable the incremental-delta strategy (:meth:`try_delta`,
+        default True): per-source base SPT indices are built lazily
+        (one traversal per queried source, amortised across the
+        stream like :meth:`base_distances`), and fault sets whose
+        orphaned region the cost model deems small are served by
+        patching instead of a full masked wave — bit-identical
+        answers, counted under ``delta_hits`` / ``delta_fallbacks``.
+    delta_policy:
+        The :class:`~repro.incremental.affected.CostModel` deciding
+        patch vs wave; defaults to a fresh default model.
 
     Notes
     -----
@@ -315,7 +395,8 @@ class ScenarioEngine:
     aligned with the input order.
     """
 
-    def __init__(self, graph, memoize: int = 4096):
+    def __init__(self, graph, memoize: int = 4096, delta: bool = True,
+                 delta_policy: Optional[CostModel] = None):
         self.graph = graph
         self.csr: CSRGraph = _snapshot_of(graph)
         self.weighted: bool = self.csr.weights is not None
@@ -347,6 +428,18 @@ class ScenarioEngine:
         self.vector_hits = 0
         self.vector_misses = 0
         self.vector_evictions = 0
+        # Incremental-delta state: per-source base SPT fault indices
+        # (built lazily, or adopted via adopt_base_tree) and the
+        # patch-vs-wave counters.
+        self.delta_enabled = bool(delta)
+        self.delta_policy = delta_policy if delta_policy is not None \
+            else CostModel()
+        self._delta_index: Dict[int, TreeFaultIndex] = {}
+        # Sources declined once while cold — the warm-up bookkeeping
+        # behind CostModel.build_worthwhile (bounded by n).
+        self._delta_seen: Set[int] = set()
+        self.delta_hits = 0
+        self.delta_fallbacks = 0
         # Perturbed-weight state (weighted mode): snapshot per seed,
         # SSSP result per (seed, source) — the amortised substrate of
         # restore_via_middle_edge over a scenario stream.
@@ -479,6 +572,140 @@ class ScenarioEngine:
     def view(self, faults: Iterable[Edge]):
         """The O(|F|) arc-masked CSR view of ``G \\ F``."""
         return self.csr.without(faults)
+
+    # ------------------------------------------------------------------
+    # incremental deltas: patch base vectors instead of re-traversing
+    # ------------------------------------------------------------------
+    def base_tree_index(self, source: int) -> TreeFaultIndex:
+        """The source's base-SPT :class:`TreeFaultIndex` (built once).
+
+        The substrate of the delta path: a base shortest-path tree
+        from ``source`` (deterministic BFS tree, or the flat-Dijkstra
+        tree on a weighted engine) wrapped in subtree intervals, so a
+        fault set's orphaned region reads off in O(|F| log |F|).
+        Building costs one additional base-graph traversal per
+        source, amortised across the scenario stream — which is why
+        :meth:`try_delta` only builds for origins the cost model
+        expects to repeat (``adopt_base_tree`` sidesteps the build
+        entirely).
+        """
+        cached = self._delta_index.get(source)
+        if cached is None:
+            if self.weighted:
+                dist, parent = csr_dijkstra_flat(self.csr, None, source)
+                if source not in self._base_dist:
+                    # The flat Dijkstra just produced exact base
+                    # distances; render them dense rather than paying
+                    # a second full traversal in base_distances.
+                    dense = [UNREACHABLE] * self.csr.n
+                    for v, d in dist.items():
+                        dense[v] = d
+                    self._base_dist[source] = dense
+            else:
+                parent = csr_bfs_tree(self.csr, None, source)
+                base = self.base_distances(source)
+                dist = {v: base[v] for v in parent}
+            cached = TreeFaultIndex(
+                ShortestPathTree(source, parent, dist)
+            )
+            self._delta_index[source] = cached
+        return cached
+
+    def adopt_base_tree(self, source: int, tree) -> None:
+        """Adopt a caller-held SPT as ``source``'s delta index.
+
+        Consumers that already paid for a shortest-path tree per
+        source (a tiebreaking scheme, the DSO) can donate it instead
+        of letting :meth:`base_tree_index` traverse again.  The tree
+        is validated to be a genuine shortest-path tree of the base
+        graph — every tree edge must exist and tighten the hop
+        distance by exactly one, and the tree must reach every
+        reachable vertex — because a stale or foreign tree would make
+        the delta path silently patch the wrong region.  Unweighted
+        engines only (a weighted engine derives its own SSSP tree).
+        """
+        self._require_unweighted("adopt_base_tree")
+        if tree.root != source:
+            raise GraphError(
+                f"tree is rooted at {tree.root}, not at {source}"
+            )
+        base = self.base_distances(source)
+        reached = 0
+        for v in tree.vertices_by_hop():
+            reached += 1
+            p = tree.parent(v)
+            if p is None:
+                continue
+            if not self.csr.has_edge(p, v) or base[v] != base[p] + 1:
+                raise GraphError(
+                    f"({p}, {v}) is not a tight edge of the base "
+                    f"graph; refusing a non-shortest-path tree for "
+                    f"source {source}"
+                )
+        if reached != sum(1 for d in base if d >= 0):
+            raise GraphError(
+                f"tree reaches {reached} vertices but {source} "
+                f"reaches more in the base graph"
+            )
+        self._delta_index[source] = TreeFaultIndex(tree)
+
+    def try_delta(self, source: int, faults: Iterable[Edge],
+                  batch_hint: int = 1) -> Optional[List[int]]:
+        """The delta-patched ``(source, F)`` vector, or ``None``.
+
+        Part of the planner protocol.  Reads the orphaned-region size
+        off the base tree's subtree intervals and consults the
+        engine's cost model: a small region is re-settled from its
+        intact frontier by the repair kernels
+        (:mod:`repro.incremental.repair`) — bit-identical to the full
+        masked kernels, counted as a delta hit, and stored in the
+        shared LRU vector cache like any waved vector — while a large
+        one returns ``None`` (a counted fallback: the caller should
+        traverse).  Returned vectors are read-only, like every cached
+        vector.
+
+        A *cold* origin (no base-tree index yet) is declined until
+        the cost model's warm-up rule fires
+        (:meth:`~repro.incremental.affected.CostModel.build_worthwhile`):
+        building the index costs a full traversal — as much as the
+        wave it would dodge — so the first faulted query per source
+        rides the wave, and a large cold batch (``batch_hint`` =
+        sources sharing the alternative wave's single sweep) keeps
+        riding it; :meth:`adopt_base_tree` pre-warms for free.
+        """
+        if not self.delta_enabled:
+            return None
+        fault_key = _canonical(faults)
+        if not fault_key:
+            return self.base_distances(source)
+        index = self._delta_index.get(source)
+        if index is None:
+            # Decline BEFORE touching base state: a declined origin
+            # must cost dict lookups only, or a large cold batch
+            # would pay one base traversal per source just to be told
+            # to ride the shared wave.
+            if not self.delta_policy.build_worthwhile(
+                    source in self._delta_seen, batch_hint):
+                self._delta_seen.add(source)
+                self.delta_fallbacks += 1
+                return None
+            index = self.base_tree_index(source)
+            self._delta_seen.discard(source)
+        base = self.base_distances(source)
+        region = affected_region(
+            index, self.csr.n, source, fault_key,
+            self.delta_policy, batch_hint=batch_hint,
+        )
+        if not region.patch:
+            self.delta_fallbacks += 1
+            return None
+        repair = csr_dijkstra_repair if self.weighted else csr_bfs_repair
+        with self._masked(fault_key) as mask:
+            patched, _changed = repair(self.csr, mask, base,
+                                       region.orphans)
+        self.delta_hits += 1
+        self._memo_put((source, fault_key), patched)
+        return patched
 
     # ------------------------------------------------------------------
     # replacement-path queries
@@ -620,12 +847,14 @@ class ScenarioEngine:
                                   faults: Iterable[Edge]) -> int:
         """``dist_{G \\ F}(s, t)``, skipping the traversal when it can.
 
-        Three amortisation layers fire before any per-scenario
+        Four amortisation layers fire before any full per-scenario
         traversal: the LRU pair memo (repeated fault sets in sampled
         streams are O(1)), a peek at the per-``(s, F)`` distance-vector
         cache (a vector left behind by a batched wave answers by
-        indexing), and the touch filter (a fault set off every shortest
-        path returns the base distance in O(|F|)).
+        indexing), the touch filter (a fault set off every shortest
+        path returns the base distance in O(|F|)), and the delta path
+        (:meth:`try_delta`: a small orphaned region is patched from
+        the base vector instead of re-traversed).
         """
         if not self.csr.has_vertex(t):
             raise GraphError(f"unknown target vertex {t}")
@@ -652,11 +881,18 @@ class ScenarioEngine:
         if not self.faults_touch_pair(s, t, fault_key):
             result = base
         else:
-            with self._masked(fault_key) as mask:
-                if self.weighted:
-                    result = csr_weighted_distance(self.csr, mask, s, t)
-                else:
-                    result = csr_hop_distance(self.csr, mask, s, t)
+            # Fourth layer: a small orphaned region is patched (and
+            # the whole vector cached) instead of traversing at all.
+            vector = self.try_delta(s, fault_key)
+            if vector is not None:
+                result = vector[t]
+            else:
+                with self._masked(fault_key) as mask:
+                    if self.weighted:
+                        result = csr_weighted_distance(self.csr, mask,
+                                                       s, t)
+                    else:
+                        result = csr_hop_distance(self.csr, mask, s, t)
         self._memo_put((s, t, fault_key), result)
         return result
 
@@ -674,6 +910,8 @@ class ScenarioEngine:
             vector_hits=self.vector_hits,
             vector_misses=self.vector_misses,
             vector_evictions=self.vector_evictions,
+            delta_hits=self.delta_hits,
+            delta_fallbacks=self.delta_fallbacks,
             size=len(self._memo),
             maxsize=self._memo_max,
         )
@@ -685,7 +923,8 @@ class ScenarioEngine:
             f"pairs={self.cache_hits}h/{self.cache_misses}m/"
             f"{self.pair_evictions}e, "
             f"vectors={self.vector_hits}h/{self.vector_misses}m/"
-            f"{self.vector_evictions}e)"
+            f"{self.vector_evictions}e, "
+            f"delta={self.delta_hits}h/{self.delta_fallbacks}f)"
         )
 
     def replacement_distances(self, s: int, t: int,
@@ -706,16 +945,26 @@ class ScenarioEngine:
         ]
 
     def source_vectors(self, sources: Iterable[int],
-                       faults: Iterable[Edge] = ()) -> List[List[int]]:
+                       faults: Iterable[Edge] = (), *,
+                       try_delta: bool = True) -> List[List[int]]:
         """Distance vectors for many sources under *one* fault set.
 
         The many-source primitive: every source missing from the
-        per-``(source, F)`` vector cache joins a single batched wave
+        per-``(source, F)`` vector cache is first offered to the
+        delta path (:meth:`try_delta` — a small orphaned region is
+        patched instead of traversed), and the remainder joins a
+        single batched wave
         (:func:`~repro.spt.batched.csr_bfs_distances_many`, or its
         weighted sibling) under one shared arc mask, so one sweep over
         the arc array serves the whole batch; cached sources are
         answered without traversing at all.  Results align with the
         input order (duplicates included, served once).
+
+        ``try_delta=False`` skips the delta offer — the planner's
+        handshake: it runs :meth:`try_delta` itself first (it needs
+        per-source attribution for ``"delta"`` provenance), so the
+        wave remainder it passes here must not re-estimate or
+        double-count fallbacks.
 
         Returned vectors are **read-only**: they may be shared with the
         engine's caches and with other callers.
@@ -747,16 +996,33 @@ class ScenarioEngine:
                     self._memo.move_to_end(key)
                     out[i] = cached
                     continue
-                self.vector_misses += 1
             pending[s] = [i]
         if pending:
-            batch = list(pending)
-            with self._masked(fault_key) as mask:
-                rows = kernel(self.csr, mask, batch)
-            for s, row in zip(batch, rows):
-                self._memo_put((s, fault_key), row)
-                for i in pending[s]:
-                    out[i] = row
+            # Delta pass: sources whose orphaned region is small are
+            # patched (try_delta stores the vector); the rest share
+            # one batched wave.
+            waving: List[int] = []
+            for s in pending:
+                vector = self.try_delta(s, fault_key,
+                                        batch_hint=len(pending)) \
+                    if try_delta else None
+                if vector is not None:
+                    for i in pending[s]:
+                        out[i] = vector
+                else:
+                    waving.append(s)
+            if waving:
+                # Misses count sources the wave actually traverses
+                # (patched sources never traverse), matching the
+                # planner path and peek_vector's documented contract.
+                if self._memo_max:
+                    self.vector_misses += len(waving)
+                with self._masked(fault_key) as mask:
+                    rows = kernel(self.csr, mask, waving)
+                for s, row in zip(waving, rows):
+                    self._memo_put((s, fault_key), row)
+                    for i in pending[s]:
+                        out[i] = row
         return out
 
     def source_vector(self, source: int,
@@ -833,11 +1099,24 @@ class ScenarioEngine:
             if not pending:
                 continue
             batch = list(pending)
+            waving = []
+            for s in batch:
+                vector = self.try_delta(s, fault_key,
+                                        batch_hint=len(batch))
+                if vector is None:
+                    waving.append(s)
+                    continue
+                for i in pending[s]:
+                    t = items[i][1]
+                    out[i] = vector[t]
+                    self._memo_put((s, t, fault_key), vector[t])
+            if not waving:
+                continue
             if self._memo_max:
-                self.vector_misses += len(batch)
+                self.vector_misses += len(waving)
             with self._masked(fault_key) as mask:
-                rows = kernel(self.csr, mask, batch)
-            for s, row in zip(batch, rows):
+                rows = kernel(self.csr, mask, waving)
+            for s, row in zip(waving, rows):
                 self._memo_put((s, fault_key), row)
                 for i in pending[s]:
                     t = items[i][1]

@@ -13,7 +13,12 @@ This module supplies the standard scenario universes:
   where exhaustive enumeration is hopeless;
 * :func:`tree_edge_faults` — the adversarial universe: faults restricted
   to the edges of a selected shortest-path tree, which are exactly the
-  faults that *must* reroute traffic from that tree's root.
+  faults that *must* reroute traffic from that tree's root;
+* :func:`clustered_fault_sets` — seeded correlated/regional failures:
+  each scenario's faults are sampled inside one BFS ball, the shape of
+  real-world outages (a cut fibre duct, a flooded region) and the
+  realistic adversary of the incremental-delta path — spatially close
+  faults orphan one coherent region instead of scattering.
 
 All generators yield sorted canonical tuples, deterministically, so a
 scenario stream is reproducible and safe to ship across a process pool.
@@ -81,6 +86,75 @@ def random_fault_sets(graph, f: int, count: int,
     return [
         _canonical(rng.sample(edges, size)) for _ in range(count)
     ]
+
+
+def clustered_fault_sets(graph, f: int, count: int, radius: int = 2,
+                         seed: int = 0) -> List[FaultSet]:
+    """``count`` seeded correlated fault sets, each inside one BFS ball.
+
+    Every draw picks a centre vertex uniformly, grows its BFS ball of
+    the given ``radius`` (expanding the radius until the ball holds at
+    least ``f`` edges or the centre's component is exhausted), and
+    samples ``min(f, ball edges)`` *distinct* edges with both
+    endpoints inside the ball.  Draws are independent, so repeated
+    regions across the stream are legitimate repeated scenarios, like
+    :func:`random_fault_sets`.  A centre isolated in its component
+    yields the empty scenario.
+
+    This is the regional-failure universe: faults here are spatially
+    correlated, the worst case for naive per-pair filtering (one
+    region hits many paths at once) and the best case for the
+    incremental-delta path (the orphaned region is one coherent
+    patch, not ``f`` scattered subtrees).
+    """
+    if f < 0:
+        raise GraphError(f"fault budget must be >= 0, got {f}")
+    if count < 0:
+        raise GraphError(f"count must be >= 0, got {count}")
+    if radius < 0:
+        raise GraphError(f"radius must be >= 0, got {radius}")
+    if graph.n == 0:
+        return [() for _ in range(count)]
+    rng = random.Random(seed)
+    out: List[FaultSet] = []
+    for _ in range(count):
+        centre = rng.randrange(graph.n)
+        # Grow the ball level by level, continuing from the saved
+        # frontier on each radius increment — never re-walking the
+        # ball — and edge-scan each vertex's row once, when it first
+        # becomes part of the ball: an in-ball edge is recorded by
+        # whichever endpoint's row is scanned later (the set dedups
+        # same-level pairs), so the whole draw costs O(vol(ball)).
+        r = radius
+        ball = {centre}
+        frontier = [centre]
+        pending_rows = [centre]
+        edge_set = set()
+        depth = 0
+        while True:
+            while frontier and depth < r:
+                depth += 1
+                nxt = []
+                for u in frontier:
+                    for w in graph.sorted_neighbors(u):
+                        if w not in ball:
+                            ball.add(w)
+                            nxt.append(w)
+                frontier = nxt
+                pending_rows.extend(nxt)
+            for v in pending_rows:
+                for w in graph.sorted_neighbors(v):
+                    if w in ball:
+                        edge_set.add(canonical_edge(v, w))
+            pending_rows = []
+            if len(edge_set) >= f or not frontier:
+                # Enough edges to sample from, or the ball already
+                # covers the centre's whole component.
+                break
+            r += 1
+        edges = sorted(edge_set)
+        out.append(_canonical(rng.sample(edges, min(f, len(edges)))))
+    return out
 
 
 def tree_edge_faults(tree, f: int = 1) -> Iterator[FaultSet]:

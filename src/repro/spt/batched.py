@@ -40,7 +40,7 @@ from bisect import bisect_right
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.graphs.csr import CSRGraph
-from repro.spt.fastpaths import UNREACHABLE, _check_source, _flat_weights
+from repro.spt.fastpaths import UNREACHABLE, _check_source, flat_weights
 
 __all__ = [
     "csr_bfs_distances_many",
@@ -214,7 +214,7 @@ def csr_weighted_distances_many(csr: CSRGraph, mask: Optional[bytearray],
         _check_source(csr, s)
     if not sources:
         return []
-    weights = _flat_weights(csr)
+    weights = flat_weights(csr)
     n = csr.n
     indptr, indices = csr.indptr, csr.indices
     dist: List[int] = [UNREACHABLE] * n
@@ -294,7 +294,7 @@ def csr_dijkstra_flat_many(csr: CSRGraph, mask: Optional[bytearray],
         _check_source(csr, s)
     if not sources:
         return []
-    weights = _flat_weights(csr)
+    weights = flat_weights(csr)
     n = csr.n
     indptr, indices = csr.indptr, csr.indices
     settled = [False] * n

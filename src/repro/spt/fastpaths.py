@@ -198,10 +198,18 @@ def csr_dijkstra(csr: CSRGraph, mask: Optional[bytearray], source: int,
     return dist, parent
 
 
-def _flat_weights(csr: CSRGraph) -> List[int]:
+def flat_weights(csr: CSRGraph) -> List[int]:
+    """The snapshot's flat per-arc weights array (raises if absent).
+
+    The one shared guard for every kernel that reads weights by arc
+    index — the flat Dijkstra family below, the batched siblings in
+    :mod:`repro.spt.batched`, and the delta-repair kernels in
+    :mod:`repro.incremental.repair`.
+    """
     if csr.weights is None:
         raise GraphError("snapshot carries no weights array")
     return csr.weights
+
 
 
 def csr_dijkstra_flat(csr: CSRGraph, mask: Optional[bytearray],
@@ -216,7 +224,7 @@ def csr_dijkstra_flat(csr: CSRGraph, mask: Optional[bytearray],
     so no per-arc check is needed.
     """
     _check_source(csr, source)
-    weights = _flat_weights(csr)
+    weights = flat_weights(csr)
     indptr, indices = csr.indptr, csr.indices
     remaining = set(targets) if targets is not None else None
     settled = [False] * csr.n
@@ -261,7 +269,7 @@ def csr_weighted_distances(csr: CSRGraph, mask: Optional[bytearray],
     dict results, just one flat vector per scenario.
     """
     _check_source(csr, source)
-    weights = _flat_weights(csr)
+    weights = flat_weights(csr)
     indptr, indices = csr.indptr, csr.indices
     dist = [UNREACHABLE] * csr.n
     tentative: List[Optional[int]] = [None] * csr.n
@@ -309,7 +317,7 @@ def csr_weighted_distance(csr: CSRGraph, mask: Optional[bytearray],
     _check_source(csr, target, role="target")
     if source == target:
         return 0
-    weights = _flat_weights(csr)
+    weights = flat_weights(csr)
     indptr, indices = csr.indptr, csr.indices
     settled = [False] * csr.n
     tentative: List[Optional[int]] = [None] * csr.n
@@ -350,7 +358,7 @@ def csr_count_min_weight_paths(csr: CSRGraph, mask: Optional[bytearray],
     position).  Output is identical to the reference.
     """
     dist, _ = csr_dijkstra_flat(csr, mask, source)
-    weights = _flat_weights(csr)
+    weights = flat_weights(csr)
     indptr, indices = csr.indptr, csr.indices
     count = {v: 0 for v in dist}
     count[source] = 1

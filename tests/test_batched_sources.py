@@ -210,7 +210,9 @@ class TestEngineVectorCache:
 
     def test_shared_eviction_policy_and_counters(self):
         g = generators.cycle(8)
-        engine = ScenarioEngine(g, memoize=3)
+        # delta=False: this test counts raw LRU insertions, and the
+        # delta path would add patched-vector entries of its own.
+        engine = ScenarioEngine(g, memoize=3, delta=False)
         for e in list(g.edges())[:5]:
             engine.source_vectors([0], [e])
         info = engine.cache_info()

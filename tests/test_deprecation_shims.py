@@ -1,0 +1,108 @@
+"""Every PR-4 engine shim must warn AND agree with the Session path.
+
+The deprecated per-call batch surface (``replacement_distances``,
+``evaluate_pairs``, ``run_pairs``, ``distance_vectors``,
+``connectivity``) survives as thin ``DeprecationWarning`` shims over
+the same kernels the planner uses.  These tests pin both halves of
+that contract: each shim raises exactly one deprecation per call, and
+its answers equal the typed-query stream through a fresh
+:class:`~repro.query.session.Session` — so consumers migrating off
+the shims can diff nothing but the call shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query import (
+    ConnectivityQuery,
+    DistanceQuery,
+    Session,
+    VectorQuery,
+)
+from repro.scenarios import ScenarioEngine, random_fault_sets
+
+
+@pytest.fixture()
+def er_with_scenarios(er_medium):
+    scenarios = random_fault_sets(er_medium, 2, 8, seed=17)
+    scenarios.append(())  # the fault-free scenario rides along
+    return er_medium, scenarios
+
+
+def test_replacement_distances_warns_and_matches(er_with_scenarios):
+    g, scenarios = er_with_scenarios
+    engine = ScenarioEngine(g)
+    with pytest.warns(DeprecationWarning, match="replacement_distances"):
+        shim = engine.replacement_distances(0, g.n - 1, scenarios)
+    answers = Session(g).answer(
+        DistanceQuery(0, g.n - 1, F) for F in scenarios
+    )
+    assert shim == [a.value for a in answers]
+
+
+def test_evaluate_pairs_warns_and_matches(er_with_scenarios):
+    g, scenarios = er_with_scenarios
+    pairs = [(0, g.n - 1), (3, 7), (5, 5), (9, 1)]
+    stream = [(s, t, F) for F in scenarios for s, t in pairs]
+    engine = ScenarioEngine(g)
+    with pytest.warns(DeprecationWarning, match="evaluate_pairs"):
+        shim = engine.evaluate_pairs(stream)
+    answers = Session(g).answer(
+        DistanceQuery(s, t, F) for s, t, F in stream
+    )
+    assert shim == [a.value for a in answers]
+
+
+def test_run_pairs_warns_and_matches(er_with_scenarios):
+    g, scenarios = er_with_scenarios
+    stream = [(0, g.n - 1, F) for F in scenarios]
+    engine = ScenarioEngine(g)
+    with pytest.warns(DeprecationWarning, match="run_pairs"):
+        shim = engine.run_pairs(stream)
+    answers = Session(g).answer(
+        DistanceQuery(s, t, F) for s, t, F in stream
+    )
+    assert [r.index for r in shim] == list(range(len(stream)))
+    assert [r.value for r in shim] == [
+        (s, t, a.value) for (s, t, _), a in zip(stream, answers)
+    ]
+    assert [r.faults for r in shim] == [q.fault_key for q in (
+        DistanceQuery(s, t, F) for s, t, F in stream
+    )]
+
+
+def test_distance_vectors_warns_and_matches(er_with_scenarios):
+    g, scenarios = er_with_scenarios
+    engine = ScenarioEngine(g)
+    with pytest.warns(DeprecationWarning, match="distance_vectors"):
+        shim = engine.distance_vectors(4, scenarios)
+    answers = Session(g).answer(
+        VectorQuery(4, F) for F in scenarios
+    )
+    assert shim == [a.value for a in answers]
+
+
+def test_connectivity_warns_and_matches(er_with_scenarios):
+    g, scenarios = er_with_scenarios
+    engine = ScenarioEngine(g)
+    with pytest.warns(DeprecationWarning, match="connectivity"):
+        shim = engine.connectivity(scenarios)
+    answers = Session(g).answer(
+        ConnectivityQuery(F) for F in scenarios
+    )
+    assert shim == [a.value for a in answers]
+
+
+def test_each_shim_warns_exactly_once_per_call(er_with_scenarios):
+    g, scenarios = er_with_scenarios
+    engine = ScenarioEngine(g)
+    with pytest.warns(DeprecationWarning) as captured:
+        engine.replacement_distances(0, 1, scenarios[:2])
+    shim_warnings = [
+        w for w in captured
+        if "ScenarioEngine.replacement_distances" in str(w.message)
+    ]
+    assert len(shim_warnings) == 1
+    # and the message routes readers at the replacement
+    assert "Session" in str(shim_warnings[0].message)

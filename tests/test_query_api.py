@@ -256,7 +256,10 @@ class TestProvenanceAndCaches:
     def test_wave_provenance_records_kernel_and_size(self, er_medium):
         g = er_medium
         e = next(iter(g.edges()))
-        session = Session(g)
+        # delta=False: this test pins the *wave* provenance; with the
+        # delta path on, a small orphaned region would legitimately
+        # serve these vectors as "delta" instead.
+        session = Session(g, delta=False)
         answers = session.answer([VectorQuery(0, (e,)),
                                   VectorQuery(1, (e,))])
         for a in answers:

@@ -191,7 +191,10 @@ class TestScenarioMemo:
         assert engine.cache_info()["size"] == 4
 
     def test_disabled(self):
-        wg, engine = self._engine(memoize=0)
+        wg = WeightedGraph.random(30, 0.15, seed=4)
+        # delta=False keeps the delta counters deterministically zero;
+        # the memo-disabled contract is what this test pins.
+        engine = ScenarioEngine(wg, memoize=0, delta=False)
         e = next(iter(wg.edges()))
         for _ in range(3):
             engine.pair_replacement_distance(0, wg.n - 1, [e])
@@ -199,6 +202,7 @@ class TestScenarioMemo:
         assert info == {
             "hits": 0, "misses": 0, "evictions": 0,
             "vector_hits": 0, "vector_misses": 0, "vector_evictions": 0,
+            "delta_hits": 0, "delta_fallbacks": 0,
             "size": 0, "maxsize": 0,
         }
 
