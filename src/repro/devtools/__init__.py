@@ -1,0 +1,7 @@
+"""Developer tooling that ships with the library but is not part of it.
+
+Nothing in :mod:`repro.devtools` is imported by the library proper —
+the packages here sit at the top of the layer DAG and are invoked as
+command-line tools (``python -m repro.devtools.lint``) by contributors
+and CI, never by runtime code paths.
+"""

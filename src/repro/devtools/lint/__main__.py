@@ -1,0 +1,8 @@
+"""Module entry point for ``python -m repro.devtools.lint``."""
+
+import sys
+
+from repro.devtools.lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,360 @@
+"""Kernel-hygiene rules (KH1xx): keep hot inner loops allocation-free.
+
+These rules fire only inside functions matched by the hot-path
+registry (:data:`repro.devtools.lint.config.HOT_PATHS`).  The CPython
+cost model behind them: every ``obj.attr`` load is a dict probe (two
+for methods), every global-name load is a second dict probe after the
+locals array misses, and every display/comprehension is an allocation
+— all per loop iteration unless hoisted to a local before the loop.
+
+Path sensitivity is deliberately coarse but honest:
+
+* a load is only flagged on the *unconditional* path of its innermost
+  enclosing loop — code under ``if``/``except`` guards runs on the
+  rare branch and hoisting it would pessimise the common one;
+* allocation (KH103) is only flagged in *innermost* loops (loops
+  containing no other loop), where per-iteration allocation multiplies
+  with the full trip count;
+* ``For`` iterables are evaluated once and are treated as outside
+  their loop; ``While`` tests run every iteration and are inside.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.devtools.lint.config import HOT_PATHS
+from repro.devtools.lint.core import ModuleContext, Rule
+
+KH101 = Rule(
+    id="KH101", name="hot-attr-load", family="kernel-hygiene",
+    description="Attribute load repeated on the unconditional path of a "
+                "loop in a hot kernel; bind it to a local before the loop.",
+)
+KH102 = Rule(
+    id="KH102", name="hot-global-load", family="kernel-hygiene",
+    description="Module-global name loaded on the unconditional path of a "
+                "loop in a hot kernel; bind it to a local before the loop.",
+)
+KH103 = Rule(
+    id="KH103", name="hot-loop-alloc", family="kernel-hygiene",
+    description="Container display or comprehension allocated on the "
+                "unconditional path of an innermost loop in a hot kernel.",
+)
+KH104 = Rule(
+    id="KH104", name="hot-list-concat", family="kernel-hygiene",
+    description="List concatenation with a display inside a loop in a hot "
+                "kernel allocates a fresh list per iteration.",
+)
+KH105 = Rule(
+    id="KH105", name="hot-try-in-loop", family="kernel-hygiene",
+    description="try/except inside a loop in a hot kernel pays exception-"
+                "machinery setup per iteration; hoist or restructure.",
+)
+KH106 = Rule(
+    id="KH106", name="hot-list-membership", family="kernel-hygiene",
+    description="Membership test against a list display in a hot kernel is "
+                "a linear scan of a freshly allocated list; use a set or "
+                "tuple constant.",
+)
+
+RULES = (KH101, KH102, KH103, KH104, KH105, KH106)
+
+_LOOPS = (ast.For, ast.While)
+_FUNCS = (ast.FunctionDef, ast.AsyncFunctionDef)
+_DISPLAYS = (ast.List, ast.Dict, ast.Set,
+             ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+def _hot_patterns(module: str) -> List[str]:
+    """Qualname patterns from the registry that apply to ``module``."""
+    out = []
+    for entry in HOT_PATHS:
+        mod_pat, _, qual_pat = entry.partition(":")
+        if fnmatch(module, mod_pat):
+            out.append(qual_pat)
+    return out
+
+
+def _functions(tree: ast.Module) -> Iterator[Tuple[str, ast.AST]]:
+    """Yield ``(qualname, node)`` for every function in the module."""
+
+    def visit(node: ast.AST, prefix: str) -> Iterator[Tuple[str, ast.AST]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _FUNCS):
+                qual = f"{prefix}{child.name}"
+                yield qual, child
+                yield from visit(child, f"{qual}.")
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, f"{prefix}{child.name}.")
+            else:
+                yield from visit(child, prefix)
+
+    yield from visit(tree, "")
+
+
+def _child_in(parent: ast.AST, field: str, child: ast.AST) -> bool:
+    value = getattr(parent, field, None)
+    if value is child:
+        return True
+    return isinstance(value, list) and any(item is child for item in value)
+
+
+def _parent_map(root: ast.AST) -> Dict[ast.AST, ast.AST]:
+    return {
+        child: parent
+        for parent in ast.walk(root)
+        for child in ast.iter_child_nodes(parent)
+    }
+
+
+def _annotation_nodes(root: ast.AST) -> Set[ast.AST]:
+    """All nodes inside annotation expressions (never evaluated hot)."""
+    out: Set[ast.AST] = set()
+    for node in ast.walk(root):
+        exprs: List[Optional[ast.AST]] = []
+        if isinstance(node, ast.AnnAssign):
+            exprs.append(node.annotation)
+        elif isinstance(node, ast.arg):
+            exprs.append(node.annotation)
+        elif isinstance(node, _FUNCS):
+            exprs.append(node.returns)
+        for expr in exprs:
+            if expr is not None:
+                out.update(ast.walk(expr))
+    return out
+
+
+def _module_globals(tree: ast.Module) -> Set[str]:
+    """Names bound at module scope (imports, assignments, defs)."""
+    names: Set[str] = set()
+
+    def bind_target(target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                bind_target(elt)
+        elif isinstance(target, ast.Starred):
+            bind_target(target.value)
+
+    def scan(stmts: List[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.Assign,)):
+                for target in stmt.targets:
+                    bind_target(target)
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                bind_target(stmt.target)
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    names.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    if alias.name != "*":
+                        names.add(alias.asname or alias.name)
+            elif isinstance(stmt, (_FUNCS[0], _FUNCS[1], ast.ClassDef)):
+                names.add(stmt.name)
+            elif isinstance(stmt, ast.If):
+                scan(stmt.body)
+                scan(stmt.orelse)
+            elif isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+                scan(stmt.body)
+                for handler in stmt.handlers:
+                    scan(handler.body)
+                scan(stmt.orelse)
+                scan(stmt.finalbody)
+            elif isinstance(stmt, (ast.For, ast.While, ast.With)):
+                if isinstance(stmt, ast.For):
+                    bind_target(stmt.target)
+                scan(stmt.body)
+    scan(tree.body)
+    return names
+
+
+def _local_bindings(fn: ast.AST) -> Set[str]:
+    """Names bound anywhere in the function (params, stores, defs)."""
+    names: Set[str] = set()
+    arguments = fn.args
+    for arg in (arguments.posonlyargs + arguments.args + arguments.kwonlyargs):
+        names.add(arg.arg)
+    if arguments.vararg is not None:
+        names.add(arguments.vararg.arg)
+    if arguments.kwarg is not None:
+        names.add(arguments.kwarg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            names.add(node.id)
+        elif isinstance(node, (_FUNCS[0], _FUNCS[1], ast.ClassDef)) and node is not fn:
+            names.add(node.name)
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            names.difference_update(node.names)
+    return names
+
+
+def _enclosing_loops(node: ast.AST, parents: Dict[ast.AST, ast.AST],
+                     fn: ast.AST) -> List[ast.AST]:
+    """Loops enclosing ``node`` within ``fn``, innermost first.
+
+    A ``For`` encloses only its ``target``/``body`` (the iterable and
+    ``orelse`` are evaluated once); a ``While`` encloses its ``test``
+    and ``body``.
+    """
+    loops: List[ast.AST] = []
+    child = node
+    parent = parents.get(child)
+    while parent is not None and child is not fn:
+        if isinstance(parent, ast.For):
+            if _child_in(parent, "target", child) or _child_in(parent, "body", child):
+                loops.append(parent)
+        elif isinstance(parent, ast.While):
+            if _child_in(parent, "test", child) or _child_in(parent, "body", child):
+                loops.append(parent)
+        child, parent = parent, parents.get(parent)
+    return loops
+
+
+def _is_conditional(node: ast.AST, loop: ast.AST,
+                    parents: Dict[ast.AST, ast.AST]) -> bool:
+    """True when ``node`` sits on a guarded branch within ``loop``."""
+    child = node
+    parent = parents.get(child)
+    while parent is not None and child is not loop:
+        if isinstance(parent, ast.If):
+            if _child_in(parent, "body", child) or _child_in(parent, "orelse", child):
+                return True
+        elif isinstance(parent, ast.IfExp):
+            if parent.body is child or parent.orelse is child:
+                return True
+        elif isinstance(parent, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            if _child_in(parent, "handlers", child) or _child_in(parent, "orelse", child):
+                return True
+        elif isinstance(parent, ast.ExceptHandler):
+            return True
+        elif isinstance(parent, ast.BoolOp):
+            if any(item is child for item in parent.values[1:]):
+                return True
+        child, parent = parent, parents.get(parent)
+    return False
+
+
+def _stored_in(loop: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            names.add(node.id)
+    return names
+
+
+def _is_innermost(loop: ast.AST) -> bool:
+    return not any(
+        isinstance(node, _LOOPS) and node is not loop for node in ast.walk(loop)
+    )
+
+
+def check(ctx: ModuleContext) -> Iterator[Tuple[Rule, ast.AST, str]]:
+    patterns = _hot_patterns(ctx.module)
+    if not patterns:
+        return
+    globals_ = _module_globals(ctx.tree)
+    for qual, fn in _functions(ctx.tree):
+        if not any(fnmatch(qual, pat) for pat in patterns):
+            continue
+        yield from _check_hot_function(ctx, qual, fn, globals_)
+
+
+def _check_hot_function(ctx: ModuleContext, qual: str, fn: ast.AST,
+                        globals_: Set[str]
+                        ) -> Iterator[Tuple[Rule, ast.AST, str]]:
+    parents = _parent_map(fn)
+    skip = _annotation_nodes(fn)
+    locals_ = _local_bindings(fn)
+    stored_cache: Dict[ast.AST, Set[str]] = {}
+    innermost_cache: Dict[ast.AST, bool] = {}
+
+    def stored(loop: ast.AST) -> Set[str]:
+        if loop not in stored_cache:
+            stored_cache[loop] = _stored_in(loop)
+        return stored_cache[loop]
+
+    def innermost(loop: ast.AST) -> bool:
+        if loop not in innermost_cache:
+            innermost_cache[loop] = _is_innermost(loop)
+        return innermost_cache[loop]
+
+    for node in ast.walk(fn):
+        if node in skip:
+            continue
+
+        if isinstance(node, ast.Try):
+            if _enclosing_loops(node, parents, fn):
+                yield (KH105, node,
+                       f"try/except inside a loop in hot kernel '{qual}'; "
+                       "the setup cost is paid every iteration")
+            continue
+
+        if isinstance(node, ast.Compare):
+            for op, comparator in zip(node.ops, node.comparators):
+                if (isinstance(op, (ast.In, ast.NotIn))
+                        and isinstance(comparator, (ast.List, ast.ListComp))):
+                    yield (KH106, comparator,
+                           f"membership test against a list in hot kernel "
+                           f"'{qual}'; use a set/frozenset or tuple constant")
+            continue
+
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+            if isinstance(node.left, (ast.List, ast.ListComp)) or \
+                    isinstance(node.right, (ast.List, ast.ListComp)):
+                loops = _enclosing_loops(node, parents, fn)
+                if loops and not _is_conditional(node, loops[0], parents):
+                    yield (KH104, node,
+                           f"list concatenation inside a loop in hot kernel "
+                           f"'{qual}' allocates a new list per iteration")
+            continue
+
+        if isinstance(node, _DISPLAYS):
+            if isinstance(node, (ast.List, ast.Set)) and \
+                    not isinstance(getattr(node, "ctx", ast.Load()), ast.Load):
+                continue
+            loops = _enclosing_loops(node, parents, fn)
+            if (loops and innermost(loops[0])
+                    and not _is_conditional(node, loops[0], parents)):
+                kind = type(node).__name__
+                yield (KH103, node,
+                       f"{kind} allocated every iteration of an innermost "
+                       f"loop in hot kernel '{qual}'; hoist it or restructure")
+            continue
+
+        if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load) \
+                and isinstance(node.value, ast.Name):
+            base = node.value.id
+            loops = _enclosing_loops(node, parents, fn)
+            if not loops:
+                continue
+            loop = loops[0]
+            if base in stored(loop):
+                continue
+            if _is_conditional(node, loop, parents):
+                continue
+            yield (KH101, node,
+                   f"'{base}.{node.attr}' is looked up every iteration of a "
+                   f"loop in hot kernel '{qual}'; bind it to a local before "
+                   "the loop")
+            continue
+
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            if node.id not in globals_ or node.id in locals_:
+                continue
+            parent = parents.get(node)
+            if isinstance(parent, ast.Attribute) and parent.value is node:
+                continue  # the attribute rule owns dotted loads
+            loops = _enclosing_loops(node, parents, fn)
+            if not loops:
+                continue
+            if _is_conditional(node, loops[0], parents):
+                continue
+            yield (KH102, node,
+                   f"module global '{node.id}' is re-resolved every iteration "
+                   f"of a loop in hot kernel '{qual}'; bind it to a local "
+                   "before the loop")

@@ -1,0 +1,118 @@
+"""Layering rules (LD2xx): imports must respect the declared layer DAG.
+
+Only module-level imports are checked — a deferred (function-level)
+import is the sanctioned escape hatch for cross-layer conveniences,
+because it cannot create a load-time cycle and costs nothing until
+first use.  The deprecated-shim rule, by contrast, applies everywhere:
+internal code must never call the PR-4 engine shims, deferred or not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.devtools.lint.config import DEPRECATED_SHIMS, layer_rank
+from repro.devtools.lint.core import ModuleContext, Rule
+
+LD201 = Rule(
+    id="LD201", name="layer-back-edge", family="layering",
+    description="Module-level import from a higher layer of the declared "
+                "DAG; invert the dependency or defer the import into the "
+                "function that needs it.",
+)
+LD202 = Rule(
+    id="LD202", name="deprecated-shim-call", family="layering",
+    description="Call to a deprecated PR-4 engine shim; enter through "
+                "query.Session / query.Planner or the kernel-layer engine "
+                "surface instead.",
+)
+
+RULES = (LD201, LD202)
+
+_FUNCS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _module_level_imports(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Import statements executed at module load time.
+
+    Descends through ``if``/``try`` (guarded imports still run at load
+    time) but not into function or class bodies.
+    """
+
+    def scan(stmts: List[ast.stmt]) -> Iterator[ast.stmt]:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                yield stmt
+            elif isinstance(stmt, ast.If):
+                yield from scan(stmt.body)
+                yield from scan(stmt.orelse)
+            elif isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+                yield from scan(stmt.body)
+                for handler in stmt.handlers:
+                    yield from scan(handler.body)
+                yield from scan(stmt.orelse)
+                yield from scan(stmt.finalbody)
+
+    yield from scan(tree.body)
+
+
+def _resolve_relative(module: str, is_package: bool, level: int,
+                      target: Optional[str]) -> Optional[str]:
+    parts = module.split(".")
+    if not is_package:
+        parts = parts[:-1]
+    drop = level - 1
+    if drop > len(parts):
+        return None
+    base = parts[: len(parts) - drop] if drop else parts
+    if target:
+        base = base + target.split(".")
+    return ".".join(base) if base else None
+
+
+def _import_targets(stmt: ast.stmt, module: str,
+                    is_package: bool) -> List[str]:
+    """Dotted modules a statement imports (best-effort resolution)."""
+    if isinstance(stmt, ast.Import):
+        return [alias.name for alias in stmt.names]
+    assert isinstance(stmt, ast.ImportFrom)
+    if stmt.level:
+        resolved = _resolve_relative(module, is_package, stmt.level, stmt.module)
+        base = resolved
+    else:
+        base = stmt.module
+    if base is None:
+        return []
+    targets = [base]
+    if base == "repro":
+        # ``from repro import spt`` pulls in the submodule: rank the
+        # submodule, not the top-rank facade.
+        targets = [f"repro.{alias.name}" for alias in stmt.names
+                   if alias.name != "*"] or [base]
+    return targets
+
+
+def check(ctx: ModuleContext) -> Iterator[Tuple[Rule, ast.AST, str]]:
+    own_rank = layer_rank(ctx.module)
+    is_package = ctx.path.endswith("__init__.py")
+    if own_rank is not None:
+        for stmt in _module_level_imports(ctx.tree):
+            for target in _import_targets(stmt, ctx.module, is_package):
+                target_rank = layer_rank(target)
+                if target_rank is None or target_rank <= own_rank:
+                    continue
+                yield (LD201, stmt,
+                       f"'{ctx.module}' (layer {own_rank}) imports "
+                       f"'{target}' (layer {target_rank}) at module level; "
+                       "this is a back-edge in the declared layer DAG — "
+                       "invert the dependency or defer the import")
+
+    for node in ast.walk(ctx.tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in DEPRECATED_SHIMS):
+            yield (LD202, node,
+                   f"call to deprecated engine shim '.{node.func.attr}()'; "
+                   "internal code must use query.Session / query.Planner "
+                   "or the kernel-layer engine surface")

@@ -1,0 +1,65 @@
+"""Finding renderers: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.devtools.lint.core import Finding
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(findings: List[Finding], files_checked: int,
+                show_suppressed: bool = False) -> str:
+    """GCC-style ``path:line:col: ID message`` lines plus a summary."""
+    lines: List[str] = []
+    active = 0
+    shown_suppressed = 0
+    for finding in findings:
+        if finding.suppressed:
+            if not show_suppressed:
+                continue
+            shown_suppressed += 1
+            marker = " (suppressed)"
+        else:
+            active += 1
+            marker = ""
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col + 1}: "
+            f"{finding.rule.id} [{finding.rule.name}] "
+            f"{finding.message}{marker}"
+        )
+    noun = "finding" if active == 1 else "findings"
+    summary = f"{active} {noun} in {files_checked} files"
+    if shown_suppressed:
+        summary += f" (+{shown_suppressed} suppressed)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(findings: List[Finding], files_checked: int) -> str:
+    """Stable machine-readable report (suppressed entries included)."""
+    counts: Dict[str, int] = {}
+    records = []
+    for finding in findings:
+        records.append({
+            "path": finding.path,
+            "module": finding.module,
+            "line": finding.line,
+            "col": finding.col,
+            "rule": finding.rule.id,
+            "rule_name": finding.rule.name,
+            "family": finding.rule.family,
+            "message": finding.message,
+            "suppressed": finding.suppressed,
+        })
+        if not finding.suppressed:
+            counts[finding.rule.id] = counts.get(finding.rule.id, 0) + 1
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": files_checked,
+        "findings": records,
+        "counts": counts,
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

@@ -45,7 +45,7 @@ caches one snapshot per ``(n, m)`` state, which is sound because
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.exceptions import GraphError
 from repro.graphs.base import Edge, canonical_edge
@@ -99,7 +99,9 @@ class CSRGraph:
         self.weights = weights
 
     @classmethod
-    def from_graph(cls, graph, arc_weight=None) -> "CSRGraph":
+    def from_graph(cls, graph: Any,
+                   arc_weight: Optional[Callable[[int, int], int]] = None
+                   ) -> "CSRGraph":
         """Flatten ``graph`` into a fresh snapshot (one O(n + m) pass).
 
         When ``arc_weight`` (a ``(u, v) -> int`` callable) is given,
@@ -124,7 +126,7 @@ class CSRGraph:
         for (u, v), i in pos_of.items():
             if u < v:
                 arc_pos[(u, v)] = (i, pos_of[(v, u)])
-        weights = None
+        weights: Optional[List[int]] = None
         if arc_weight is not None:
             weights = [
                 arc_weight(u, indices[i])
@@ -133,7 +135,8 @@ class CSRGraph:
             ]
         return cls(n, indptr, indices, arc_pos, weights)
 
-    def with_arc_weights(self, arc_weight) -> "CSRGraph":
+    def with_arc_weights(self, arc_weight: Callable[[int, int], int]
+                         ) -> "CSRGraph":
         """A reweighted snapshot sharing this topology (O(m) weight calls).
 
         ``indptr``/``indices`` and the arc-position table are shared
@@ -393,7 +396,7 @@ class CSRFaultView:
         )
 
 
-def fast_without(graph, faults: Iterable[Edge]):
+def fast_without(graph: Any, faults: Iterable[Edge]) -> Any:
     """``G \\ F`` on the cheapest structure ``graph`` supports.
 
     A :class:`~repro.graphs.base.Graph` routes through its cached CSR
@@ -408,7 +411,7 @@ def fast_without(graph, faults: Iterable[Edge]):
     return graph.without(faults)
 
 
-def as_csr(graph) -> Optional[Tuple[CSRGraph, Optional[bytearray]]]:
+def as_csr(graph: Any) -> Optional[Tuple[CSRGraph, Optional[bytearray]]]:
     """``(snapshot, mask)`` when ``graph`` has a CSR fast path, else None.
 
     The :mod:`repro.spt` traversals call this to decide between the

@@ -39,7 +39,7 @@ pin it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Tuple
+from typing import Any, Iterable, Optional, Tuple
 
 __all__ = ["AffectedRegion", "CostModel", "affected_region"]
 
@@ -115,7 +115,7 @@ class AffectedRegion:
         return self.estimate
 
 
-def affected_region(index, n: int, source: int, faults: Iterable,
+def affected_region(index: Any, n: int, source: int, faults: Iterable,
                     model: Optional[CostModel] = None,
                     batch_hint: int = 1) -> AffectedRegion:
     """The affected region of ``faults`` against a base tree index.

@@ -37,7 +37,7 @@ exactly, not just symmetric edge weights.
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.graphs.csr import CSRGraph
 from repro.spt.fastpaths import UNREACHABLE, flat_weights
@@ -59,12 +59,14 @@ def csr_bfs_repair(csr: CSRGraph, mask: Optional[bytearray],
     indptr, indices = csr.indptr, csr.indices
     aff = set(orphans)
     patched = list(base)
+    unreachable = UNREACHABLE
     for v in aff:
-        patched[v] = UNREACHABLE
+        patched[v] = unreachable
     # Seed: best surviving intact->orphan entry per orphan, bucketed
     # by the (exact) distance it proposes.
-    buckets = {}
+    buckets: Dict[int, List[int]] = {}
     levels: List[int] = []
+    push, pop = heapq.heappush, heapq.heappop
     for v in aff:
         best = -1
         for i in range(indptr[v], indptr[v + 1]):
@@ -80,16 +82,18 @@ def csr_bfs_repair(csr: CSRGraph, mask: Optional[bytearray],
             bucket = buckets.get(best)
             if bucket is None:
                 buckets[best] = bucket = []
-                heapq.heappush(levels, best)
+                push(levels, best)
             bucket.append(v)
     # Settle: multi-source BFS with level offsets, restricted to the
     # orphaned region.  Processing level L only ever creates level
     # L + 1, and the heap interleaves those with later seed levels, so
     # levels are settled in ascending order — each orphan's first
     # assignment is its true distance.
+    buckets_pop = buckets.pop
+    buckets_get = buckets.get
     while levels:
-        depth = heapq.heappop(levels)
-        queue = buckets.pop(depth, ())
+        depth = pop(levels)
+        queue = buckets_pop(depth, ())
         nxt_depth = depth + 1
         for v in queue:
             if patched[v] >= 0:
@@ -100,10 +104,10 @@ def csr_bfs_repair(csr: CSRGraph, mask: Optional[bytearray],
                     continue
                 w = indices[i]
                 if w in aff and patched[w] < 0:
-                    bucket = buckets.get(nxt_depth)
+                    bucket = buckets_get(nxt_depth)
                     if bucket is None:
                         buckets[nxt_depth] = bucket = []
-                        heapq.heappush(levels, nxt_depth)
+                        push(levels, nxt_depth)
                     bucket.append(w)
     changed = sorted(v for v in aff if patched[v] != base[v])
     return patched, changed
@@ -126,12 +130,14 @@ def csr_dijkstra_repair(csr: CSRGraph, mask: Optional[bytearray],
     arc_positions = csr.arc_positions
     aff = set(orphans)
     patched = list(base)
+    unreachable = UNREACHABLE
     for v in aff:
-        patched[v] = UNREACHABLE
-    tentative = {}
+        patched[v] = unreachable
+    tentative: Dict[int, int] = {}
     heap: List[Tuple[int, int]] = []
+    push, pop = heapq.heappush, heapq.heappop
     for v in aff:
-        best = None
+        best: Optional[int] = None
         for i in range(indptr[v], indptr[v + 1]):
             if mask is not None and not mask[i]:
                 continue
@@ -145,14 +151,17 @@ def csr_dijkstra_repair(csr: CSRGraph, mask: Optional[bytearray],
             # w(u, v) — look the reverse arc up so antisymmetric
             # snapshots repair exactly.
             pos = arc_positions(u, v)
+            if pos is None:  # pragma: no cover - (v, u) is a scanned arc
+                continue
             cand = du + weights[pos[0] if u < v else pos[1]]
             if best is None or cand < best:
                 best = cand
         if best is not None:
             tentative[v] = best
-            heapq.heappush(heap, (best, v))
+            push(heap, (best, v))
+    tentative_get = tentative.get
     while heap:
-        d, v = heapq.heappop(heap)
+        d, v = pop(heap)
         if patched[v] >= 0:
             continue
         patched[v] = d
@@ -163,9 +172,9 @@ def csr_dijkstra_repair(csr: CSRGraph, mask: Optional[bytearray],
             if w not in aff or patched[w] >= 0:
                 continue
             cand = d + weights[i]
-            known = tentative.get(w)
+            known = tentative_get(w)
             if known is None or cand < known:
                 tentative[w] = cand
-                heapq.heappush(heap, (cand, w))
+                push(heap, (cand, w))
     changed = sorted(v for v in aff if patched[v] != base[v])
     return patched, changed

@@ -292,17 +292,21 @@ class TreeFaultIndex:
         :func:`repro.incremental.affected.affected_region` does).
         """
         cut: List[Tuple[int, int]] = []
+        child_of = self._edge_child.get
+        canon = canonical_edge
+        enter, exit_ = self._enter, self._exit
         for u, v in faults:
-            child = self._edge_child.get(canonical_edge(u, v))
+            child = child_of(canon(u, v))
             if child is not None:
-                cut.append((self._enter[child], self._exit[child]))
+                cut.append((enter[child], exit_[child]))
         cut.sort()
         merged: List[Tuple[int, int]] = []
+        keep = merged.append
         pos = 0
         for lo, hi in cut:
             if lo < pos:  # nested under an already-cut subtree
                 continue
-            merged.append((lo, hi))
+            keep((lo, hi))
             pos = hi
         return merged
 
@@ -325,8 +329,10 @@ class TreeFaultIndex:
         (O(|orphans|)) — the second half of :meth:`orphaned_vertices`
         for callers that sized the region first."""
         out: List[int] = []
+        grow = out.extend
+        tour = self._tour
         for lo, hi in intervals:
-            out.extend(self._tour[lo:hi])
+            grow(tour[lo:hi])
         return out
 
     def orphaned_vertices(self, faults: Iterable[Edge]) -> List[int]:
@@ -343,11 +349,13 @@ class TreeFaultIndex:
                 self._all = frozenset(self._tour)
             return set(self._all)
         good: List[int] = []
+        grow = good.extend
+        tour = self._tour
         pos = 0
         for lo, hi in cut:
-            good.extend(self._tour[pos:lo])
+            grow(tour[pos:lo])
             pos = hi
-        good.extend(self._tour[pos:])
+        grow(tour[pos:])
         return set(good)
 
 
@@ -984,11 +992,12 @@ class ScenarioEngine:
             return [self.base_distances(s) for s in sources]
         out: List[Optional[List[int]]] = [None] * len(sources)
         pending: Dict[int, List[int]] = {}
+        memo_max = self._memo_max
         for i, s in enumerate(sources):
             if s in pending:
                 pending[s].append(i)
                 continue
-            if self._memo_max:
+            if memo_max:
                 key = (s, fault_key)
                 cached = self._memo.get(key, _MISS)
                 if cached is not _MISS:
@@ -996,7 +1005,9 @@ class ScenarioEngine:
                     self._memo.move_to_end(key)
                     out[i] = cached
                     continue
-            pending[s] = [i]
+            # One index list per *distinct* uncached source — allocation
+            # proportional to the output, not to the loop trip count.
+            pending[s] = [i]  # reprolint: disable=hot-loop-alloc
         if pending:
             # Delta pass: sources whose orphaned region is small are
             # patched (try_delta stores the vector); the rest share
@@ -1015,12 +1026,13 @@ class ScenarioEngine:
                 # Misses count sources the wave actually traverses
                 # (patched sources never traverse), matching the
                 # planner path and peek_vector's documented contract.
-                if self._memo_max:
+                if memo_max:
                     self.vector_misses += len(waving)
                 with self._masked(fault_key) as mask:
                     rows = kernel(self.csr, mask, waving)
+                memo_put = self._memo_put
                 for s, row in zip(waving, rows):
-                    self._memo_put((s, fault_key), row)
+                    memo_put((s, fault_key), row)
                     for i in pending[s]:
                         out[i] = row
         return out
@@ -1060,22 +1072,36 @@ class ScenarioEngine:
                         ) -> List[int]:
         """:meth:`evaluate_pairs` without the deprecation shim — the
         grouped-wave kernel :meth:`restoration_sweep` batches through."""
+        csr = self.csr
+        has_vertex = csr.has_vertex
+        canon = _canonical
         items: List[Tuple[int, int, FaultSet]] = []
+        add_item = items.append
         for s, t, faults in queries:
-            if not self.csr.has_vertex(t):
+            if not has_vertex(t):
                 raise GraphError(f"unknown target vertex {t}")
-            items.append((s, t, _canonical(faults)))
+            add_item((s, t, canon(faults)))
         out: List[Optional[int]] = [None] * len(items)
         groups: "OrderedDict[FaultSet, List[int]]" = OrderedDict()
+        groups_get = groups.get
         for i, (_, _, fault_key) in enumerate(items):
-            groups.setdefault(fault_key, []).append(i)
+            bucket = groups_get(fault_key)
+            if bucket is None:
+                groups[fault_key] = bucket = []
+            bucket.append(i)
         kernel = (csr_weighted_distances_many if self.weighted
                   else csr_bfs_distances_many)
+        memo_max = self._memo_max
+        memo_put = self._memo_put
+        touches = self.faults_touch_pair
+        offer_delta = self.try_delta
+        masked = self._masked
         for fault_key, idxs in groups.items():
             pending: Dict[int, List[int]] = {}
+            pending_get = pending.get
             for i in idxs:
                 s, t, _ = items[i]
-                if self._memo_max:
+                if memo_max:
                     key = (s, t, fault_key)
                     cached = self._memo.get(key, _MISS)
                     if cached is not _MISS:
@@ -1089,39 +1115,41 @@ class ScenarioEngine:
                         self.vector_hits += 1
                         self._memo.move_to_end((s, fault_key))
                         out[i] = vector[t]
-                        self._memo_put(key, out[i])
+                        memo_put(key, out[i])
                         continue
-                if not self.faults_touch_pair(s, t, fault_key):
+                if not touches(s, t, fault_key):
                     out[i] = self.base_distances(s)[t]
-                    self._memo_put((s, t, fault_key), out[i])
+                    memo_put((s, t, fault_key), out[i])
                     continue
-                pending.setdefault(s, []).append(i)
+                bucket = pending_get(s)
+                if bucket is None:
+                    pending[s] = bucket = []
+                bucket.append(i)
             if not pending:
                 continue
             batch = list(pending)
             waving = []
             for s in batch:
-                vector = self.try_delta(s, fault_key,
-                                        batch_hint=len(batch))
+                vector = offer_delta(s, fault_key, batch_hint=len(batch))
                 if vector is None:
                     waving.append(s)
                     continue
                 for i in pending[s]:
                     t = items[i][1]
                     out[i] = vector[t]
-                    self._memo_put((s, t, fault_key), vector[t])
+                    memo_put((s, t, fault_key), vector[t])
             if not waving:
                 continue
-            if self._memo_max:
+            if memo_max:
                 self.vector_misses += len(waving)
-            with self._masked(fault_key) as mask:
-                rows = kernel(self.csr, mask, waving)
+            with masked(fault_key) as mask:
+                rows = kernel(csr, mask, waving)
             for s, row in zip(waving, rows):
-                self._memo_put((s, fault_key), row)
+                memo_put((s, fault_key), row)
                 for i in pending[s]:
                     t = items[i][1]
                     out[i] = row[t]
-                    self._memo_put((s, t, fault_key), row[t])
+                    memo_put((s, t, fault_key), row[t])
         return out
 
     def run_pairs(self, queries: Iterable[Tuple[int, int, Iterable[Edge]]]

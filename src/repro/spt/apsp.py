@@ -23,15 +23,15 @@ since a maximum over missing distances would silently understate.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.exceptions import GraphError
-from repro.graphs.csr import as_csr
+from repro.graphs.csr import CSRGraph, as_csr
 from repro.spt.batched import csr_bfs_distances_many
 from repro.spt.bfs import UNREACHABLE, bfs_distances
 
 
-def _csr_of(graph):
+def _csr_of(graph: Any) -> Optional[Tuple[CSRGraph, Optional[bytearray]]]:
     """``(snapshot, mask)`` when ``graph`` has a CSR fast path, else None.
 
     Extends :func:`~repro.graphs.csr.as_csr` dispatch to mutable graphs
@@ -53,7 +53,7 @@ def _csr_of(graph):
     return None
 
 
-def _distance_rows(graph, sources: List[int]) -> List[List[int]]:
+def _distance_rows(graph: Any, sources: List[int]) -> List[List[int]]:
     """One hop-distance vector per source — batched when CSR-capable."""
     pair = _csr_of(graph)
     if pair is None:
@@ -61,7 +61,8 @@ def _distance_rows(graph, sources: List[int]) -> List[List[int]]:
     return csr_bfs_distances_many(pair[0], pair[1], sources)
 
 
-def all_pairs_bfs_distances(graph, sources: Optional[Iterable[int]] = None
+def all_pairs_bfs_distances(graph: Any,
+                            sources: Optional[Iterable[int]] = None
                             ) -> Dict[int, List[int]]:
     """Hop-distance rows ``{s: [dist(s, v) for v]}`` for each source.
 
@@ -78,7 +79,7 @@ def all_pairs_bfs_distances(graph, sources: Optional[Iterable[int]] = None
     return dict(zip(source_list, _distance_rows(graph, source_list)))
 
 
-def eccentricity(graph, v: int) -> int:
+def eccentricity(graph: Any, v: int) -> int:
     """Max distance from ``v`` to any vertex; raises if disconnected.
 
     See the module docstring for the disconnected-graph contract
@@ -90,7 +91,7 @@ def eccentricity(graph, v: int) -> int:
     return max(dist)
 
 
-def eccentricities(graph) -> List[int]:
+def eccentricities(graph: Any) -> List[int]:
     """Every vertex's eccentricity in one batched wave.
 
     Raises :class:`GraphError` on a disconnected graph after a single
@@ -104,7 +105,7 @@ def eccentricities(graph) -> List[int]:
     return [max(row) for row in rows]
 
 
-def diameter(graph) -> int:
+def diameter(graph: Any) -> int:
     """Exact diameter (max pairwise hop distance) of a connected graph.
 
     One batched all-sources wave plus a single connectivity check —
@@ -117,7 +118,7 @@ def diameter(graph) -> int:
     return max(eccs, default=0)
 
 
-def distance_matrix(graph) -> List[List[int]]:
+def distance_matrix(graph: Any) -> List[List[int]]:
     """Dense ``n x n`` hop-distance matrix (``-1`` for unreachable).
 
     Unlike the max-valued helpers above, disconnection is *not* an
@@ -127,7 +128,8 @@ def distance_matrix(graph) -> List[List[int]]:
     return _distance_rows(graph, list(graph.vertices()))
 
 
-def replacement_distance(graph, source: int, target: int, faults) -> int:
+def replacement_distance(graph: Any, source: int, target: int,
+                         faults: Iterable[Tuple[int, int]]) -> int:
     """``dist_{G \\ F}(s, t)`` — the ground-truth replacement distance.
 
     The brute-force oracle every replacement-path algorithm in the

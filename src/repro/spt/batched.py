@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import heapq
 from bisect import bisect_right
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.graphs.csr import CSRGraph
 from repro.spt.fastpaths import UNREACHABLE, _check_source, flat_weights
@@ -73,14 +73,20 @@ def _blocked_rows(indptr: List[int],
     back to its row with one bisection on ``indptr``.
     """
     zeros: List[int] = []
+    append = zeros.append
+    find = mask.index
+    limit = _SPARSE_MASK_ZEROS
     start = 0
     while True:
-        try:
-            pos = mask.index(0, start)
+        # The ValueError protocol is what makes bytearray.index usable as
+        # a C-speed scan-for-next-zero; the loop runs at most limit+1
+        # times, so the per-iteration setup cost never compounds.
+        try:  # reprolint: disable=hot-try-in-loop
+            pos = find(0, start)
         except ValueError:
             break
-        zeros.append(pos)
-        if len(zeros) > _SPARSE_MASK_ZEROS:
+        append(pos)
+        if len(zeros) > limit:
             return None
         start = pos + 1
     return frozenset(bisect_right(indptr, pos) - 1 for pos in zeros)
@@ -103,8 +109,9 @@ def csr_bfs_distances_many(csr: CSRGraph, mask: Optional[bytearray],
     ~64 sources per machine word.
     """
     sources = list(sources)
+    check = _check_source
     for s in sources:
-        _check_source(csr, s)
+        check(csr, s)
     if not sources:
         return []
     n = csr.n
@@ -210,8 +217,9 @@ def csr_weighted_distances_many(csr: CSRGraph, mask: Optional[bytearray],
     setup across every source as well.
     """
     sources = list(sources)
+    check = _check_source
     for s in sources:
-        _check_source(csr, s)
+        check(csr, s)
     if not sources:
         return []
     weights = flat_weights(csr)
@@ -221,13 +229,16 @@ def csr_weighted_distances_many(csr: CSRGraph, mask: Optional[bytearray],
     tentative: List[Optional[int]] = [None] * n
     heap: List[Tuple[int, int]] = []
     push, pop = heapq.heappush, heapq.heappop
+    heap_append = heap.append
+    dist_copy = dist.copy
+    unreachable = UNREACHABLE
     rows: Dict[int, List[int]] = {}
     for s in sources:
         if s in rows:
             continue
         touched = [s]
         tentative[s] = 0
-        heap.append((0, s))
+        heap_append((0, s))
         if mask is None:
             while heap:
                 d, u = pop(heap)
@@ -264,15 +275,17 @@ def csr_weighted_distances_many(csr: CSRGraph, mask: Optional[bytearray],
                             touched.append(v)
                         tentative[v] = candidate
                         push(heap, (candidate, v))
-        rows[s] = dist.copy()
+        rows[s] = dist_copy()
         for v in touched:
-            dist[v] = UNREACHABLE
+            dist[v] = unreachable
             tentative[v] = None
-    emitted = set()
+    emitted: Set[int] = set()
     out: List[List[int]] = []
+    emit = out.append
+    seen = emitted.add
     for s in sources:
-        out.append(rows[s] if s not in emitted else list(rows[s]))
-        emitted.add(s)
+        emit(rows[s] if s not in emitted else list(rows[s]))
+        seen(s)
     return out
 
 
@@ -290,8 +303,9 @@ def csr_dijkstra_flat_many(csr: CSRGraph, mask: Optional[bytearray],
     sources are traversed once and returned as dict copies.
     """
     sources = list(sources)
+    check = _check_source
     for s in sources:
-        _check_source(csr, s)
+        check(csr, s)
     if not sources:
         return []
     weights = flat_weights(csr)
@@ -302,6 +316,7 @@ def csr_dijkstra_flat_many(csr: CSRGraph, mask: Optional[bytearray],
     tentative_parent: List[Optional[int]] = [None] * n
     heap: List[Tuple[int, int]] = []
     push, pop = heapq.heappush, heapq.heappop
+    heap_append = heap.append
     done: Dict[int, Tuple[Dict[int, int], Dict[int, Optional[int]]]] = {}
     for s in sources:
         if s in done:
@@ -310,7 +325,7 @@ def csr_dijkstra_flat_many(csr: CSRGraph, mask: Optional[bytearray],
         parent: Dict[int, Optional[int]] = {}
         touched = [s]
         tentative[s] = 0
-        heap.append((0, s))
+        heap_append((0, s))
         while heap:
             d, u = pop(heap)
             if settled[u]:
@@ -337,11 +352,13 @@ def csr_dijkstra_flat_many(csr: CSRGraph, mask: Optional[bytearray],
             settled[v] = False
             tentative[v] = None
             tentative_parent[v] = None
-    emitted = set()
-    out = []
+    emitted: Set[int] = set()
+    out: List[Tuple[Dict[int, int], Dict[int, Optional[int]]]] = []
+    emit = out.append
+    seen = emitted.add
     for s in sources:
         dist, parent = done[s]
-        out.append((dist, parent) if s not in emitted
-                   else (dict(dist), dict(parent)))
-        emitted.add(s)
+        emit((dist, parent) if s not in emitted
+             else (dict(dist), dict(parent)))
+        seen(s)
     return out

@@ -10,7 +10,7 @@ f = 0 baseline throughout the benchmarks.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.exceptions import GraphError
 from repro.graphs.csr import as_csr
@@ -19,7 +19,7 @@ from repro.spt import fastpaths
 UNREACHABLE = -1
 
 
-def bfs_distances(graph, source: int) -> List[int]:
+def bfs_distances(graph: Any, source: int) -> List[int]:
     """Hop distances from ``source``; ``UNREACHABLE`` (-1) where cut off."""
     csr = as_csr(graph)
     if csr is not None:
@@ -38,7 +38,7 @@ def bfs_distances(graph, source: int) -> List[int]:
     return dist
 
 
-def bfs_tree(graph, source: int) -> Dict[int, Optional[int]]:
+def bfs_tree(graph: Any, source: int) -> Dict[int, Optional[int]]:
     """Deterministic BFS parent map (smallest-id parent wins).
 
     Returns ``{vertex: parent}`` with ``parent[source] is None``;
@@ -62,7 +62,7 @@ def bfs_tree(graph, source: int) -> Dict[int, Optional[int]]:
     return parent
 
 
-def bfs_layers(graph, source: int) -> List[List[int]]:
+def bfs_layers(graph: Any, source: int) -> List[List[int]]:
     """Vertices grouped by hop distance: ``layers[d]`` = distance-d set."""
     dist = bfs_distances(graph, source)
     depth = max((d for d in dist if d != UNREACHABLE), default=0)
@@ -73,7 +73,7 @@ def bfs_layers(graph, source: int) -> List[List[int]]:
     return layers
 
 
-def hop_distance(graph, source: int, target: int) -> int:
+def hop_distance(graph: Any, source: int, target: int) -> int:
     """Hop distance between two vertices (``UNREACHABLE`` if cut off).
 
     Early-exits once ``target`` is settled, so cheaper than a full

@@ -11,17 +11,21 @@ antisymmetric tiebreaking weight function is a decidable predicate —
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, Optional, Tuple
 
 from repro.exceptions import GraphError
-from repro.graphs.csr import as_csr
+from repro.graphs.csr import CSRGraph, as_csr
 from repro.spt import fastpaths
+
+if TYPE_CHECKING:
+    from repro.spt.paths import Path
 
 WeightFn = Callable[[int, int], int]
 
 
-def dijkstra(graph, source: int, weight: WeightFn,
-             targets: Optional[Iterable[int]] = None):
+def dijkstra(graph: Any, source: int, weight: WeightFn,
+             targets: Optional[Iterable[int]] = None
+             ) -> Tuple[Dict[int, int], Dict[int, Optional[int]]]:
     """Single-source shortest paths under integer arc weights.
 
     Parameters
@@ -66,7 +70,7 @@ def dijkstra(graph, source: int, weight: WeightFn,
     return dijkstra_reference(graph, source, weight, targets=targets)
 
 
-def _reads_flat_weights(graph, csr, weight: WeightFn) -> bool:
+def _reads_flat_weights(graph: Any, csr: CSRGraph, weight: WeightFn) -> bool:
     """True when ``weight`` is ``graph``'s own array-backed accessor.
 
     The flat kernel is only sound when the passed weight function
@@ -82,8 +86,9 @@ def _reads_flat_weights(graph, csr, weight: WeightFn) -> bool:
             and getattr(weight, "__self__", None) is graph)
 
 
-def dijkstra_reference(graph, source: int, weight: WeightFn,
-                       targets: Optional[Iterable[int]] = None):
+def dijkstra_reference(graph: Any, source: int, weight: WeightFn,
+                       targets: Optional[Iterable[int]] = None
+                       ) -> Tuple[Dict[int, int], Dict[int, Optional[int]]]:
     """The generic dict-and-heap reference loop behind :func:`dijkstra`.
 
     Runs on any ``GraphLike`` with no CSR dispatch — this is the
@@ -127,7 +132,8 @@ def dijkstra_reference(graph, source: int, weight: WeightFn,
     return dist, parent
 
 
-def count_min_weight_paths(graph, source: int, weight: WeightFn) -> Dict[int, int]:
+def count_min_weight_paths(graph: Any, source: int,
+                           weight: WeightFn) -> Dict[int, int]:
     """Exact count of minimum-weight ``source -> v`` paths, per vertex.
 
     Runs Dijkstra, then dynamic programming over the shortest-path DAG:
@@ -157,7 +163,8 @@ def count_min_weight_paths(graph, source: int, weight: WeightFn) -> Dict[int, in
     return count
 
 
-def extract_path(parent: Dict[int, Optional[int]], target: int):
+def extract_path(parent: Dict[int, Optional[int]],
+                 target: int) -> Optional["Path"]:
     """Reconstruct the path to ``target`` from a Dijkstra parent map.
 
     Returns a :class:`repro.spt.paths.Path` running source -> target, or
@@ -169,7 +176,10 @@ def extract_path(parent: Dict[int, Optional[int]], target: int):
         return None
     chain = [target]
     v = target
-    while parent[v] is not None:
-        v = parent[v]
+    while True:
+        nxt = parent[v]
+        if nxt is None:
+            break
+        v = nxt
         chain.append(v)
     return Path(reversed(chain))

@@ -39,7 +39,7 @@ batch — live in :mod:`repro.spt.batched`.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.exceptions import GraphError
 from repro.graphs.csr import CSRGraph
@@ -64,7 +64,7 @@ def csr_bfs_distances(csr: CSRGraph, mask: Optional[bytearray],
     if mask is None:
         while frontier:
             depth += 1
-            nxt = []
+            nxt: List[int] = []
             for u in frontier:
                 for v in indices[indptr[u]:indptr[u + 1]]:
                     if dist[v] < 0:
@@ -101,7 +101,7 @@ def csr_bfs_tree(csr: CSRGraph, mask: Optional[bytearray],
     parent: Dict[int, Optional[int]] = {source: None}
     frontier = [source]
     while frontier:
-        nxt = []
+        nxt: List[int] = []
         for u in frontier:
             lo, hi = indptr[u], indptr[u + 1]
             row = indices[lo:hi] if mask is None else [
@@ -130,7 +130,7 @@ def csr_hop_distance(csr: CSRGraph, mask: Optional[bytearray],
     depth = 0
     while frontier:
         depth += 1
-        nxt = []
+        nxt: List[int] = []
         for u in frontier:
             lo, hi = indptr[u], indptr[u + 1]
             row = indices[lo:hi] if mask is None else (
@@ -147,7 +147,8 @@ def csr_hop_distance(csr: CSRGraph, mask: Optional[bytearray],
 
 
 def csr_dijkstra(csr: CSRGraph, mask: Optional[bytearray], source: int,
-                 weight, targets=None
+                 weight: Callable[[int, int], int],
+                 targets: Optional[Iterable[int]] = None
                  ) -> Tuple[Dict[int, int], Dict[int, Optional[int]]]:
     """Single-source Dijkstra over a (possibly masked) snapshot.
 
@@ -166,8 +167,9 @@ def csr_dijkstra(csr: CSRGraph, mask: Optional[bytearray], source: int,
     tentative_parent: List[Optional[int]] = [None] * csr.n
     tentative[source] = 0
     heap = [(0, source)]
+    push, pop = heapq.heappush, heapq.heappop
     while heap:
-        d, u = heapq.heappop(heap)
+        d, u = pop(heap)
         if settled[u]:
             continue
         settled[u] = True
@@ -194,7 +196,7 @@ def csr_dijkstra(csr: CSRGraph, mask: Optional[bytearray], source: int,
             if known is None or candidate < known:
                 tentative[v] = candidate
                 tentative_parent[v] = u
-                heapq.heappush(heap, (candidate, v))
+                push(heap, (candidate, v))
     return dist, parent
 
 
@@ -213,7 +215,7 @@ def flat_weights(csr: CSRGraph) -> List[int]:
 
 
 def csr_dijkstra_flat(csr: CSRGraph, mask: Optional[bytearray],
-                      source: int, targets=None
+                      source: int, targets: Optional[Iterable[int]] = None
                       ) -> Tuple[Dict[int, int], Dict[int, Optional[int]]]:
     """Single-source Dijkstra reading weights from the flat arc array.
 
@@ -234,8 +236,9 @@ def csr_dijkstra_flat(csr: CSRGraph, mask: Optional[bytearray],
     tentative_parent: List[Optional[int]] = [None] * csr.n
     tentative[source] = 0
     heap = [(0, source)]
+    push, pop = heapq.heappush, heapq.heappop
     while heap:
-        d, u = heapq.heappop(heap)
+        d, u = pop(heap)
         if settled[u]:
             continue
         settled[u] = True
@@ -256,7 +259,7 @@ def csr_dijkstra_flat(csr: CSRGraph, mask: Optional[bytearray],
             if known is None or candidate < known:
                 tentative[v] = candidate
                 tentative_parent[v] = u
-                heapq.heappush(heap, (candidate, v))
+                push(heap, (candidate, v))
     return dist, parent
 
 
@@ -275,9 +278,10 @@ def csr_weighted_distances(csr: CSRGraph, mask: Optional[bytearray],
     tentative: List[Optional[int]] = [None] * csr.n
     tentative[source] = 0
     heap = [(0, source)]
+    push, pop = heapq.heappush, heapq.heappop
     if mask is None:
         while heap:
-            d, u = heapq.heappop(heap)
+            d, u = pop(heap)
             if dist[u] >= 0:
                 continue
             dist[u] = d
@@ -289,10 +293,10 @@ def csr_weighted_distances(csr: CSRGraph, mask: Optional[bytearray],
                 known = tentative[v]
                 if known is None or candidate < known:
                     tentative[v] = candidate
-                    heapq.heappush(heap, (candidate, v))
+                    push(heap, (candidate, v))
     else:
         while heap:
-            d, u = heapq.heappop(heap)
+            d, u = pop(heap)
             if dist[u] >= 0:
                 continue
             dist[u] = d
@@ -306,7 +310,7 @@ def csr_weighted_distances(csr: CSRGraph, mask: Optional[bytearray],
                 known = tentative[v]
                 if known is None or candidate < known:
                     tentative[v] = candidate
-                    heapq.heappush(heap, (candidate, v))
+                    push(heap, (candidate, v))
     return dist
 
 
@@ -323,8 +327,9 @@ def csr_weighted_distance(csr: CSRGraph, mask: Optional[bytearray],
     tentative: List[Optional[int]] = [None] * csr.n
     tentative[source] = 0
     heap = [(0, source)]
+    push, pop = heapq.heappush, heapq.heappop
     while heap:
-        d, u = heapq.heappop(heap)
+        d, u = pop(heap)
         if settled[u]:
             continue
         if u == target:
@@ -340,7 +345,7 @@ def csr_weighted_distance(csr: CSRGraph, mask: Optional[bytearray],
             known = tentative[v]
             if known is None or candidate < known:
                 tentative[v] = candidate
-                heapq.heappush(heap, (candidate, v))
+                push(heap, (candidate, v))
     return UNREACHABLE
 
 
@@ -362,6 +367,7 @@ def csr_count_min_weight_paths(csr: CSRGraph, mask: Optional[bytearray],
     indptr, indices = csr.indptr, csr.indices
     count = {v: 0 for v in dist}
     count[source] = 1
+    dist_get = dist.get
     for u in sorted(dist, key=dist.__getitem__):
         cu = count[u]
         du = dist[u]
@@ -369,6 +375,6 @@ def csr_count_min_weight_paths(csr: CSRGraph, mask: Optional[bytearray],
             if mask is not None and not mask[i]:
                 continue
             v = indices[i]
-            if dist.get(v) == du + weights[i]:
+            if dist_get(v) == du + weights[i]:
                 count[v] += cu
     return count

@@ -10,7 +10,7 @@ path pi(t, x)" (Theorem 2) — is :func:`join_at_midpoint`.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence, Tuple
+from typing import Any, Callable, Iterable, Iterator, Tuple
 
 from repro.exceptions import GraphError
 from repro.graphs.base import Edge, canonical_edge
@@ -76,13 +76,13 @@ class Path:
     def __iter__(self) -> Iterator[int]:
         return iter(self._vertices)
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: Any) -> Any:
         return self._vertices[index]
 
     def __contains__(self, vertex: int) -> bool:
         return vertex in self._vertices
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, Path):
             return NotImplemented
         return self._vertices == other._vertices
@@ -169,11 +169,11 @@ class Path:
     def is_simple(self) -> bool:
         return len(set(self._vertices)) == len(self._vertices)
 
-    def is_valid_in(self, graph) -> bool:
+    def is_valid_in(self, graph: Any) -> bool:
         """True if every consecutive pair is an edge of ``graph``."""
         return all(graph.has_edge(u, v) for u, v in self.arcs())
 
-    def weight(self, weight_fn) -> int:
+    def weight(self, weight_fn: Callable[[int, int], int]) -> int:
         """Total weight under an arc-weight function ``weight_fn(u, v)``."""
         return sum(weight_fn(u, v) for u, v in self.arcs())
 
@@ -202,7 +202,7 @@ def join_at_midpoint(to_x_from_s: Path, to_x_from_t: Path) -> Path:
     return to_x_from_s.concat(to_x_from_t.reverse())
 
 
-def is_replacement_path(graph, path: Path, faults: Iterable[Edge],
+def is_replacement_path(graph: Any, path: Path, faults: Iterable[Edge],
                         required_hops: int) -> bool:
     """Check ``path`` is a valid replacement path of the given length.
 

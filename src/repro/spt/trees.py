@@ -9,7 +9,7 @@ them, and routing tables are their next-hop encoding (Section 2).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, KeysView, Optional, Tuple
 
 from repro.exceptions import DisconnectedError, GraphError
 from repro.graphs.base import Edge, canonical_edge
@@ -28,6 +28,8 @@ class ShortestPathTree:
 
     __slots__ = ("_root", "_parent", "_dist", "_hops", "_scale", "_order")
 
+    _order: Optional[Tuple[int, ...]]
+
     def __init__(self, root: int, parent: Dict[int, Optional[int]],
                  dist: Dict[int, int], scale: int = 1):
         if root not in parent or parent[root] is not None:
@@ -45,7 +47,7 @@ class ShortestPathTree:
 
     # ------------------------------------------------------------------
     @classmethod
-    def compute(cls, graph, root: int, weight: WeightFn,
+    def compute(cls, graph: Any, root: int, weight: WeightFn,
                 scale: int = 1) -> "ShortestPathTree":
         """Run Dijkstra and wrap the result."""
         dist, parent = dijkstra(graph, root, weight)
@@ -64,10 +66,10 @@ class ShortestPathTree:
     def reaches(self, v: int) -> bool:
         return v in self._parent
 
-    def reached_vertices(self):
+    def reached_vertices(self) -> KeysView[int]:
         return self._parent.keys()
 
-    def vertices_by_hop(self):
+    def vertices_by_hop(self) -> Tuple[int, ...]:
         """Reached vertices sorted by hop distance (cached tuple).
 
         Trees are immutable once built, so the root-to-leaf processing
@@ -75,11 +77,12 @@ class ShortestPathTree:
         :func:`repro.core.restoration.tree_fault_free_vertices`) is
         computed once per tree instead of re-sorted on every fault set.
         """
-        if self._order is None:
-            self._order = tuple(
+        order = self._order
+        if order is None:
+            order = self._order = tuple(
                 sorted(self._parent, key=self._hops.__getitem__)
             )
-        return self._order
+        return order
 
     def parent(self, v: int) -> Optional[int]:
         if v not in self._parent:
@@ -104,8 +107,11 @@ class ShortestPathTree:
             raise DisconnectedError(self._root, v)
         chain = [v]
         node = v
-        while self._parent[node] is not None:
-            node = self._parent[node]
+        while True:
+            nxt = self._parent[node]
+            if nxt is None:
+                break
+            node = nxt
             chain.append(node)
         return Path(reversed(chain))
 
@@ -126,9 +132,10 @@ class ShortestPathTree:
             raise DisconnectedError(self._root, v)
         node = v
         while self._parent[node] != self._root:
-            node = self._parent[node]
-            if node is None:  # pragma: no cover - defensive
+            nxt = self._parent[node]
+            if nxt is None:  # pragma: no cover - defensive
                 raise GraphError("broken parent chain")
+            node = nxt
         return node
 
     def depth(self) -> int:
