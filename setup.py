@@ -1,9 +1,23 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Minimal packaging metadata.
 
-All real metadata lives in ``pyproject.toml``; this file only enables
-``pip install -e . --no-use-pep517`` in offline environments.
+The library itself is stdlib-only; ``numpy`` is an *optional*
+accelerator enabling the vectorized kernel backend
+(:mod:`repro.backends.vectorized`) — install it via the extra::
+
+    pip install -e .[numpy]
+
+Without the extra every kernel is served by the pure-Python
+``pyloops`` backend and the dispatch seam falls back cleanly.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+    extras_require={
+        "numpy": ["numpy"],
+    },
+)

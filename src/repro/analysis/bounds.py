@@ -81,8 +81,14 @@ def fit_exponent(xs: Sequence[float], ys: Sequence[float]
     ``y ≈ exp(log_coefficient) * x**exponent``.  Requires at least two
     distinct positive points.
     """
-    import numpy as np
+    from repro.backends.api import numpy_or_none
 
+    np = numpy_or_none()
+    if np is None:
+        raise RuntimeError(
+            "fit_exponent needs numpy (install the repro[numpy] extra); "
+            "it is unavailable or disabled via REPRO_NO_NUMPY"
+        )
     xs = [float(x) for x in xs]
     ys = [float(y) for y in ys]
     if len(xs) < 2 or any(x <= 0 for x in xs) or any(y <= 0 for y in ys):

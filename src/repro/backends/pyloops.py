@@ -1,0 +1,40 @@
+"""The pure-Python loop backend — always available, the reference.
+
+A thin namespace over the existing loop kernels: construction binds
+each ``*_loops`` implementation (the renamed bodies the public
+wrappers dispatch around) directly as an instance attribute, so a
+dispatched call costs one attribute load over calling the loop
+directly.  No adaptation happens here — the loops *are* the
+behavioural contract every other backend is pinned against.
+
+The ``spt`` / ``incremental`` imports are deferred to construction:
+``backends`` sits below those packages in the layer DAG (the public
+kernels import the dispatcher), so importing them at module level
+would be a layering back-edge.  Function-scope imports are the
+sanctioned escape hatch (see ``repro.devtools.lint.config``), and the
+backend is constructed once per process.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PyLoopsBackend"]
+
+
+class PyLoopsBackend:
+    """Kernel backend serving every call with the pure-Python loops."""
+
+    name = "pyloops"
+
+    def __init__(self) -> None:
+        from repro.incremental import repair
+        from repro.spt import batched, fastpaths
+
+        self.csr_bfs_distances = fastpaths.csr_bfs_distances_loops
+        self.csr_weighted_distances = fastpaths.csr_weighted_distances_loops
+        self.csr_dijkstra_flat = fastpaths.csr_dijkstra_flat_loops
+        self.csr_bfs_distances_many = batched.csr_bfs_distances_many_loops
+        self.csr_weighted_distances_many = (
+            batched.csr_weighted_distances_many_loops)
+        self.csr_dijkstra_flat_many = batched.csr_dijkstra_flat_many_loops
+        self.csr_bfs_repair = repair.csr_bfs_repair_loops
+        self.csr_dijkstra_repair = repair.csr_dijkstra_repair_loops

@@ -1,0 +1,521 @@
+"""numpy-vectorised kernel backend over cached CSR ndarray mirrors.
+
+Every kernel here is pinned **bit-identical** to its pure-Python
+sibling (the ``pyloops`` backend) by the hypothesis cross-check suites
+— exact int distances, the same ``UNREACHABLE`` sentinels, the same
+documented parent tie-breaks.  The speed comes from replacing the
+per-arc interpreter frames with whole-frontier array sweeps:
+
+* **Ragged frontier gather** — a frontier's arc ids are materialised
+  in one shot from ``indptr`` fancy-indexing plus an
+  ``arange``/``np.repeat`` segment trick (:func:`_arc_ids`); the arc
+  mask is lifted once per call to a boolean array and applied as a
+  single filter.
+* **BFS** (:func:`csr_bfs_distances`) — level-synchronous boolean
+  frontier: gather the frontier's arc heads, drop seen vertices,
+  stamp the depth.
+* **Multi-source BFS** (:func:`csr_bfs_distances_many`) — the
+  bit-packed wave becomes a 2-D ``(n, ceil(S/64))`` uint64 frontier
+  matrix.  Per level, head contributions are OR-reduced with
+  ``argsort`` + ``np.bitwise_or.reduceat`` (a ufunc ``.at`` scatter is
+  far slower), and freshly discovered (vertex, source) pairs are
+  decoded via ``np.unpackbits`` in one shot.
+* **Weighted distances** (:func:`csr_weighted_distances`) —
+  frontier-restricted label-correcting (Bellman–Ford on the active
+  set): each round relaxes every out-arc of the vertices whose
+  tentative distance just improved, with one ``np.minimum.at`` per
+  round.  Distances only ever decrease and the unique fixpoint *is*
+  the Dijkstra distance vector, so the result is bit-identical to the
+  heap loop even though the settling order differs; round count tracks
+  the hop depth of the shortest-path tree, not ``n``.
+* **Parent trees** (:func:`csr_dijkstra_flat`) — parents are derived
+  after the distance pass as an argmin over *tight* in-arcs
+  (``dist[u] + w(u, v) == dist[v]``) with ``(dist[u], u)`` as the
+  tie-break.  Under unique shortest paths — the only regime the
+  documented contract covers, and the only one the tiebreaking layer
+  uses — the tight in-arc is unique, so this matches the heap loop's
+  parents exactly.
+* **Delta repair** (:func:`csr_bfs_repair` /
+  :func:`csr_dijkstra_repair`) — the orphaned region is compacted to
+  ``0..k-1``; seeds are gathered from every surviving intact→orphan
+  arc (weighted seeds read the reverse arc's weight through the
+  mirror's ``rev`` permutation, so antisymmetric snapshots repair
+  exactly), then label-correcting rounds run entirely inside the
+  ``k``-vector — per-round cost scales with the region, not ``n``.
+
+All distances are computed in int64 with ``_INF = 2**62`` as the
+internal unreached sentinel; the dispatcher never routes a snapshot
+here whose weights could overflow that headroom (see
+``repro.backends.dispatch``), and a forced route raises
+:class:`~repro.exceptions.BackendError` instead of silently wrapping.
+Outputs are converted with ``.tolist()``, so callers receive plain
+Python ints, exactly like the loops.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.backends.api import UNREACHABLE, check_source, numpy_or_none
+from repro.exceptions import BackendError, GraphError
+from repro.graphs.csr import CSRGraph
+
+__all__ = ["VectorizedBackend"]
+
+#: Internal "not yet settled" sentinel.  Large enough that no real
+#: distance reaches it (the dispatcher guards ``max_weight * n`` against
+#: it), small enough that one further int64 addition cannot wrap.
+_INF = 1 << 62
+
+# uint64 words are decoded to per-source bits via a uint8 view +
+# np.unpackbits(bitorder="little"); on a big-endian host the bytes of
+# each word must be swapped first so bit j still means source j.
+_NEEDS_BYTESWAP = sys.byteorder == "big"
+
+
+def _require_numpy() -> Any:
+    np = numpy_or_none()
+    if np is None:
+        raise BackendError("vectorized backend requires numpy")
+    return np
+
+
+def _mirror(np: Any, csr: CSRGraph) -> Any:
+    nd = csr.ndarrays()
+    if nd is None:  # pragma: no cover - numpy vanished mid-call
+        raise BackendError("vectorized backend requires numpy")
+    return nd
+
+
+def _weights_of(csr: CSRGraph, nd: Any) -> Any:
+    """The mirror's int64 weights (same guards as ``flat_weights``).
+
+    Raises :class:`GraphError` on a weightless snapshot (matching the
+    loops) and :class:`BackendError` when the weights — or any simple
+    path's sum of them (< n arcs) — could overflow the ``_INF``
+    headroom.  The ``auto`` dispatch mode never routes such snapshots
+    here; a forced route fails loudly instead of wrapping.
+    """
+    if csr.weights is None:
+        raise GraphError("snapshot carries no weights array")
+    if nd.weights is None or nd.max_weight > (_INF - 1) // max(csr.n, 1):
+        raise BackendError(
+            "snapshot weights exceed the vectorized backend's int64 range")
+    return nd.weights
+
+
+def weighted_safe(csr: CSRGraph) -> bool:
+    """True when the vectorized weighted kernels can serve ``csr``.
+
+    The dispatcher's overflow guard: weights must fit int64 and every
+    simple path sum (< n arcs) must stay under the ``_INF`` sentinel.
+    """
+    np = numpy_or_none()
+    if np is None:
+        return False
+    nd = csr.ndarrays()
+    return (nd is not None and nd.weights is not None
+            and nd.max_weight <= (_INF - 1) // max(csr.n, 1))
+
+
+def _lift_mask(np: Any, mask: Optional[bytearray]) -> Any:
+    """The arc mask as a boolean array (one lift per kernel call)."""
+    if mask is None:
+        return None
+    return np.frombuffer(mask, dtype=np.uint8) != 0
+
+
+def _arc_ids(np: Any, indptr: Any, rows: Any) -> Any:
+    """Arc ids of every row in ``rows``, concatenated (ragged gather).
+
+    ``arange(total)`` numbers the output positions; subtracting each
+    segment's exclusive prefix and adding its row start turns them
+    into per-row arc ranges without a Python-level loop.
+    """
+    starts = indptr[rows]
+    counts = indptr[rows + 1] - starts
+    total = int(counts.sum())
+    if not total:
+        return starts[:0]
+    prefix = np.cumsum(counts) - counts
+    return (np.arange(total, dtype=np.int64)
+            + np.repeat(starts - prefix, counts))
+
+
+def _decode_bits(np: Any, words: Any, width: int) -> Any:
+    """``(k, W)`` uint64 → ``(k, width)`` 0/1 matrix, bit j = source j."""
+    if _NEEDS_BYTESWAP:  # pragma: no cover - little-endian CI
+        words = words.byteswap()
+    return np.unpackbits(words.view(np.uint8), axis=1,
+                         bitorder="little", count=width)
+
+
+def csr_bfs_distances(csr: CSRGraph, mask: Optional[bytearray],
+                      source: int) -> List[int]:
+    """Vectorised sibling of ``fastpaths.csr_bfs_distances``."""
+    np = _require_numpy()
+    check_source(csr, source)
+    nd = _mirror(np, csr)
+    indptr, indices = nd.indptr, nd.indices
+    ok = _lift_mask(np, mask)
+    dist = np.full(csr.n, UNREACHABLE, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    flatnonzero = np.flatnonzero
+    arc_ids = _arc_ids
+    depth = 0
+    while frontier.size:
+        depth += 1
+        idx = arc_ids(np, indptr, frontier)
+        if ok is not None:
+            idx = idx[ok[idx]]
+        heads = indices[idx]
+        newly = np.zeros(csr.n, dtype=np.bool_)
+        newly[heads] = True
+        newly &= dist < 0
+        dist[newly] = depth
+        frontier = flatnonzero(newly)
+    return dist.tolist()
+
+
+def _weighted_dist(np: Any, indptr: Any, indices: Any, tails: Any,
+                   weights: Any, ok: Any, n: int, source: int) -> Any:
+    """Dense int64 distance vector (``_INF`` = unreached) from ``source``.
+
+    Frontier-restricted label-correcting: each round relaxes the
+    out-arcs of every vertex whose tentative distance just improved
+    (one ``np.minimum.at``), and the improved heads form the next
+    round's frontier.  Tentative distances are monotonically
+    decreasing integers, so the loop terminates, and the fixpoint —
+    every surviving arc non-tight-improvable — is the unique shortest
+    -path distance vector: bit-identical to the heap loop's values.
+    """
+    dist = np.full(n, _INF, dtype=np.int64)
+    dist[source] = 0
+    active = np.array([source], dtype=np.int64)
+    minimum_at = np.minimum.at
+    unique = np.unique
+    arc_ids = _arc_ids
+    while active.size:
+        idx = arc_ids(np, indptr, active)
+        if ok is not None:
+            idx = idx[ok[idx]]
+        heads = indices[idx]
+        cand = dist[tails[idx]] + weights[idx]
+        better = cand < dist[heads]
+        heads = heads[better]
+        if not heads.size:
+            break
+        minimum_at(dist, heads, cand[better])
+        active = unique(heads)
+    return dist
+
+
+def csr_weighted_distances(csr: CSRGraph, mask: Optional[bytearray],
+                           source: int) -> List[int]:
+    """Vectorised sibling of ``fastpaths.csr_weighted_distances``."""
+    np = _require_numpy()
+    check_source(csr, source)
+    nd = _mirror(np, csr)
+    weights = _weights_of(csr, nd)
+    ok = _lift_mask(np, mask)
+    dist = _weighted_dist(np, nd.indptr, nd.indices, nd.tails, weights,
+                          ok, csr.n, source)
+    return np.where(dist >= _INF, UNREACHABLE, dist).tolist()
+
+
+def _flat_result(np: Any, nd: Any, weights: Any, ok: Any, n: int,
+                 source: int, dist: Any
+                 ) -> Tuple[Dict[int, int], Dict[int, Optional[int]]]:
+    """``(dist, parent)`` dicts from a dense distance vector.
+
+    Parents are the argmin over tight in-arcs with ``(dist[u], u)`` as
+    tie-break — identical to the heap loop under unique shortest paths
+    (the documented contract's only regime).
+    """
+    tails, heads = nd.tails, nd.indices
+    reached = dist < _INF
+    live = reached[tails] & reached[heads]
+    if ok is not None:
+        live &= ok
+    cand = np.flatnonzero(live)
+    ct, ch = tails[cand], heads[cand]
+    tight = dist[ct] + weights[cand] == dist[ch]
+    ct, ch = ct[tight], ch[tight]
+    minimum_at = np.minimum.at
+    best_d = np.full(n, _INF, dtype=np.int64)
+    minimum_at(best_d, ch, dist[ct])
+    keep = dist[ct] == best_d[ch]
+    ct, ch = ct[keep], ch[keep]
+    best_u = np.full(n, n, dtype=np.int64)
+    minimum_at(best_u, ch, ct)
+    rv = np.flatnonzero(reached)
+    order = np.lexsort((rv, dist[rv]))
+    verts = rv[order].tolist()
+    dist_map = dict(zip(verts, dist[rv][order].tolist()))
+    parents = best_u[rv][order].tolist()
+    parent_map: Dict[int, Optional[int]] = {
+        v: (None if v == source else p) for v, p in zip(verts, parents)
+    }
+    return dist_map, parent_map
+
+
+def csr_dijkstra_flat(csr: CSRGraph, mask: Optional[bytearray],
+                      source: int
+                      ) -> Tuple[Dict[int, int], Dict[int, Optional[int]]]:
+    """Vectorised sibling of ``fastpaths.csr_dijkstra_flat``.
+
+    No ``targets`` early exit — the public wrapper keeps targeted
+    calls on the loops (early exit is inherently sequential).
+    """
+    np = _require_numpy()
+    check_source(csr, source)
+    nd = _mirror(np, csr)
+    weights = _weights_of(csr, nd)
+    ok = _lift_mask(np, mask)
+    dist = _weighted_dist(np, nd.indptr, nd.indices, nd.tails, weights,
+                          ok, csr.n, source)
+    return _flat_result(np, nd, weights, ok, csr.n, source, dist)
+
+
+def csr_bfs_distances_many(csr: CSRGraph, mask: Optional[bytearray],
+                           sources: Iterable[int]) -> List[List[int]]:
+    """Vectorised sibling of ``batched.csr_bfs_distances_many``.
+
+    The bit-packed wave as a 2-D uint64 frontier matrix: row ``v``
+    holds one bit per source.  Per level the frontier's head
+    contributions are OR-reduced per head vertex with ``argsort`` +
+    ``np.bitwise_or.reduceat``, and the fresh (vertex, source)
+    discoveries are decoded with one ``np.unpackbits`` into a masked
+    row update of the distance matrix.  That matrix is kept
+    **vertex-major** (``(n, sources)``) so the per-level update writes
+    contiguous rows — a source-major layout would scatter every
+    discovery across a strided column, which dominates the whole
+    kernel at large ``n`` — and transposed once at the end.
+    """
+    np = _require_numpy()
+    src_list = list(sources)
+    check = check_source
+    for s in src_list:
+        check(csr, s)
+    if not src_list:
+        return []
+    nd = _mirror(np, csr)
+    indptr, indices, tails = nd.indptr, nd.indices, nd.tails
+    ok = _lift_mask(np, mask)
+    n = csr.n
+    n_sources = len(src_list)
+    words = (n_sources + 63) >> 6
+    src_arr = np.asarray(src_list, dtype=np.int64)
+    dist = np.full((n, n_sources), UNREACHABLE, dtype=np.int32)
+    dist[src_arr, np.arange(n_sources)] = 0
+    frontier = np.zeros((n, words), dtype=np.uint64)
+    seen = np.zeros((n, words), dtype=np.uint64)
+    word_of = np.arange(n_sources) >> 6
+    bit_of = (np.ones(n_sources, dtype=np.uint64)
+              << (np.arange(n_sources, dtype=np.uint64) & np.uint64(63)))
+    bitwise_or_at = np.bitwise_or.at
+    bitwise_or_at(frontier, (src_arr, word_of), bit_of)
+    bitwise_or_at(seen, (src_arr, word_of), bit_of)
+    active = np.unique(src_arr)
+    or_reduceat = np.bitwise_or.reduceat
+    arc_ids = _arc_ids
+    copyto = np.copyto
+    depth = 0
+    while active.size:
+        depth += 1
+        idx = arc_ids(np, indptr, active)
+        if ok is not None:
+            idx = idx[ok[idx]]
+        if not idx.size:
+            frontier[active] = 0
+            break
+        heads = indices[idx]
+        order = np.argsort(heads)
+        contrib = frontier[tails[idx[order]]]
+        frontier[active] = 0
+        uniq, starts = np.unique(heads[order], return_index=True)
+        gathered = or_reduceat(contrib, starts, axis=0)
+        fresh = gathered & ~seen[uniq]
+        any_fresh = fresh.any(axis=1)
+        vs = uniq[any_fresh]
+        fresh = fresh[any_fresh]
+        if vs.size:
+            seen[vs] |= fresh
+            frontier[vs] = fresh
+            bits = _decode_bits(np, fresh, n_sources)
+            rows = dist[vs]
+            copyto(rows, depth, where=bits.view(np.bool_))
+            dist[vs] = rows
+        active = vs
+    return np.ascontiguousarray(dist.T).tolist()
+
+
+def csr_weighted_distances_many(csr: CSRGraph, mask: Optional[bytearray],
+                                sources: Iterable[int]) -> List[List[int]]:
+    """Vectorised sibling of ``batched.csr_weighted_distances_many``.
+
+    Dijkstra frontiers cannot share bits across sources, so the batch
+    win is the amortised setup (one mask lift, one mirror) plus the
+    per-source settled-frontier sweeps; duplicate sources are
+    traversed once and re-emitted as list copies, exactly like the
+    loops.
+    """
+    np = _require_numpy()
+    src_list = list(sources)
+    check = check_source
+    for s in src_list:
+        check(csr, s)
+    if not src_list:
+        return []
+    nd = _mirror(np, csr)
+    weights = _weights_of(csr, nd)
+    ok = _lift_mask(np, mask)
+    indptr, indices, tails = nd.indptr, nd.indices, nd.tails
+    n = csr.n
+    rows: Dict[int, List[int]] = {}
+    out: List[List[int]] = []
+    for s in src_list:
+        row = rows.get(s)
+        if row is None:
+            dist = _weighted_dist(np, indptr, indices, tails, weights,
+                                  ok, n, s)
+            rows[s] = row = np.where(dist >= _INF, UNREACHABLE,
+                                     dist).tolist()
+            out.append(row)
+        else:
+            out.append(list(row))
+    return out
+
+
+def csr_dijkstra_flat_many(csr: CSRGraph, mask: Optional[bytearray],
+                           sources: Iterable[int]
+                           ) -> List[Tuple[Dict[int, int],
+                                           Dict[int, Optional[int]]]]:
+    """Vectorised sibling of ``batched.csr_dijkstra_flat_many``."""
+    np = _require_numpy()
+    src_list = list(sources)
+    check = check_source
+    for s in src_list:
+        check(csr, s)
+    if not src_list:
+        return []
+    nd = _mirror(np, csr)
+    weights = _weights_of(csr, nd)
+    ok = _lift_mask(np, mask)
+    indptr, indices, tails = nd.indptr, nd.indices, nd.tails
+    n = csr.n
+    done: Dict[int, Tuple[Dict[int, int], Dict[int, Optional[int]]]] = {}
+    out: List[Tuple[Dict[int, int], Dict[int, Optional[int]]]] = []
+    for s in src_list:
+        pair = done.get(s)
+        if pair is None:
+            dist = _weighted_dist(np, indptr, indices, tails, weights,
+                                  ok, n, s)
+            done[s] = pair = _flat_result(np, nd, weights, ok, n, s, dist)
+            out.append(pair)
+        else:
+            out.append((dict(pair[0]), dict(pair[1])))
+    return out
+
+
+def _repair_region(np: Any, csr: CSRGraph, nd: Any,
+                   mask: Optional[bytearray], base: List[int],
+                   orph: List[int], weights: Any
+                   ) -> Tuple[List[int], List[int]]:
+    """Shared repair body; ``weights is None`` means hop (+1) repair.
+
+    The orphaned region is compacted to ``0..k-1``; every surviving
+    intact→orphan arc seeds its orphan with an exact proposal
+    (weighted seeds read the *reverse* arc's weight through the
+    mirror's ``rev`` permutation — scanning orphan ``v``'s row yields
+    the arc ``(v, u)``, the seed needs ``w(u, v)`` — so antisymmetric
+    snapshots repair exactly), then label-correcting rounds run
+    entirely inside the ``k``-vector.  The fixpoint equals the loops'
+    bucketed/heap settle, so ``patched`` is bit-identical.
+    """
+    indptr, indices, tails = nd.indptr, nd.indices, nd.tails
+    ok = _lift_mask(np, mask)
+    base_arr = np.asarray(base, dtype=np.int64)
+    patched = base_arr.copy()
+    orph_arr = np.asarray(orph, dtype=np.int64)
+    patched[orph_arr] = UNREACHABLE
+    k = len(orph)
+    pos = np.full(csr.n, -1, dtype=np.int64)
+    pos[orph_arr] = np.arange(k)
+    prop = np.full(k, _INF, dtype=np.int64)
+    minimum_at = np.minimum.at
+    unique = np.unique
+    # Seed: arcs out of orphan rows whose head is intact and reached
+    # (orphans were just zeroed to -1, so ``du >= 0`` covers both).
+    idx = _arc_ids(np, indptr, orph_arr)
+    if ok is not None:
+        idx = idx[ok[idx]]
+    du = patched[indices[idx]]
+    val = du >= 0
+    if val.any():
+        idx_v = idx[val]
+        seed = du[val] + (1 if weights is None else weights[nd.rev[idx_v]])
+        minimum_at(prop, pos[tails[idx_v]], seed)
+    active = np.flatnonzero(prop < _INF)
+    arc_ids = _arc_ids
+    while active.size:
+        idx2 = arc_ids(np, indptr, orph_arr[active])
+        if ok is not None:
+            idx2 = idx2[ok[idx2]]
+        p2 = pos[indices[idx2]]
+        ing = p2 >= 0
+        idx2, p2 = idx2[ing], p2[ing]
+        cand = prop[pos[tails[idx2]]] + (
+            1 if weights is None else weights[idx2])
+        better = cand < prop[p2]
+        p2 = p2[better]
+        if not p2.size:
+            break
+        minimum_at(prop, p2, cand[better])
+        active = unique(p2)
+    patched[orph_arr] = np.where(prop < _INF, prop, UNREACHABLE)
+    changed = orph_arr[patched[orph_arr] != base_arr[orph_arr]].tolist()
+    return patched.tolist(), changed
+
+
+def csr_bfs_repair(csr: CSRGraph, mask: Optional[bytearray],
+                   base: List[int], orphans: Iterable[int]
+                   ) -> Tuple[List[int], List[int]]:
+    """Vectorised sibling of ``incremental.repair.csr_bfs_repair``."""
+    np = _require_numpy()
+    orph = sorted(set(orphans))
+    if not orph:
+        return list(base), []
+    nd = _mirror(np, csr)
+    return _repair_region(np, csr, nd, mask, base, orph, None)
+
+
+def csr_dijkstra_repair(csr: CSRGraph, mask: Optional[bytearray],
+                        base: List[int], orphans: Iterable[int]
+                        ) -> Tuple[List[int], List[int]]:
+    """Vectorised sibling of ``incremental.repair.csr_dijkstra_repair``."""
+    np = _require_numpy()
+    nd = _mirror(np, csr)
+    weights = _weights_of(csr, nd)
+    orph = sorted(set(orphans))
+    if not orph:
+        return list(base), []
+    return _repair_region(np, csr, nd, mask, base, orph, weights)
+
+
+class VectorizedBackend:
+    """Kernel backend serving every call with the numpy kernels."""
+
+    name = "vectorized"
+
+    def __init__(self) -> None:
+        self.csr_bfs_distances = csr_bfs_distances
+        self.csr_weighted_distances = csr_weighted_distances
+        self.csr_dijkstra_flat = csr_dijkstra_flat
+        self.csr_bfs_distances_many = csr_bfs_distances_many
+        self.csr_weighted_distances_many = csr_weighted_distances_many
+        self.csr_dijkstra_flat_many = csr_dijkstra_flat_many
+        self.csr_bfs_repair = csr_bfs_repair
+        self.csr_dijkstra_repair = csr_dijkstra_repair

@@ -34,6 +34,10 @@ from typing import Optional, Tuple
 LAYERS: Tuple[Tuple[str, ...], ...] = (
     ("exceptions",),
     ("graphs",),
+    # The kernel-backend seam sits below ``spt``: the public kernels
+    # dispatch *down* into it, and the pyloops backend's upward binding
+    # of the loop implementations is a function-level deferred import.
+    ("backends",),
     ("spt",),
     ("core", "dag"),
     ("incremental",),
@@ -86,6 +90,21 @@ HOT_PATHS: Tuple[str, ...] = (
     "repro.scenarios.engine:TreeFaultIndex.cut_intervals",
     "repro.scenarios.engine:TreeFaultIndex.orphans_of_intervals",
     "repro.scenarios.engine:TreeFaultIndex.fault_free_vertices",
+)
+
+# ---------------------------------------------------------------------------
+# Vectorized hot paths: ndarray kernels, same per-call heat as
+# HOT_PATHS but a different hygiene profile — whole-array temporaries
+# are the *point*, so the allocation rules (KH103/KH104/KH106) don't
+# apply, while attribute loads off module globals in inner loops
+# (``np.minimum.at`` unhoisted) still do (KH101, relaxed to
+# module-global bases) and so does unhoisted global access (KH102).
+# ---------------------------------------------------------------------------
+VECTORIZED_HOT_PATHS: Tuple[str, ...] = (
+    "repro.backends.vectorized:csr_*",
+    "repro.backends.vectorized:_weighted_dist",
+    "repro.backends.vectorized:_repair_region",
+    "repro.backends.vectorized:_arc_ids",
 )
 
 # ---------------------------------------------------------------------------

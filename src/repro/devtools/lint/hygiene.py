@@ -17,6 +17,17 @@ Path sensitivity is deliberately coarse but honest:
   with the full trip count;
 * ``For`` iterables are evaluated once and are treated as outside
   their loop; ``While`` tests run every iteration and are inside.
+
+Two kernel classes, two hygiene profiles.  Functions matched by
+:data:`~repro.devtools.lint.config.HOT_PATHS` are ``loops`` kernels —
+every rule applies.  Functions matched by
+:data:`~repro.devtools.lint.config.VECTORIZED_HOT_PATHS` are
+``vectorized`` (ndarray) kernels: whole-array temporaries are the
+point, so the allocation rules (KH103/KH104/KH106) are off, and
+KH101 narrows to attribute loads whose base is a *module global*
+(``np.minimum.at`` unhoisted in a level loop) — loads off locals
+(``frontier.size``) are O(1) probes next to O(m) array ops and not
+worth a finding.  KH102 and KH105 apply to both classes.
 """
 
 from __future__ import annotations
@@ -25,7 +36,7 @@ import ast
 from fnmatch import fnmatch
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from repro.devtools.lint.config import HOT_PATHS
+from repro.devtools.lint.config import HOT_PATHS, VECTORIZED_HOT_PATHS
 from repro.devtools.lint.core import ModuleContext, Rule
 
 KH101 = Rule(
@@ -68,13 +79,22 @@ _DISPLAYS = (ast.List, ast.Dict, ast.Set,
              ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
 
 
-def _hot_patterns(module: str) -> List[str]:
-    """Qualname patterns from the registry that apply to ``module``."""
+def _hot_patterns(module: str) -> List[Tuple[str, str]]:
+    """``(qualname-pattern, kernel-class)`` pairs applying to ``module``.
+
+    The kernel class is ``"loops"`` for :data:`HOT_PATHS` entries and
+    ``"vectorized"`` for :data:`VECTORIZED_HOT_PATHS` ones; a function
+    matched by both registries gets the loops (strict) profile.
+    """
     out = []
     for entry in HOT_PATHS:
         mod_pat, _, qual_pat = entry.partition(":")
         if fnmatch(module, mod_pat):
-            out.append(qual_pat)
+            out.append((qual_pat, "loops"))
+    for entry in VECTORIZED_HOT_PATHS:
+        mod_pat, _, qual_pat = entry.partition(":")
+        if fnmatch(module, mod_pat):
+            out.append((qual_pat, "vectorized"))
     return out
 
 
@@ -259,13 +279,15 @@ def check(ctx: ModuleContext) -> Iterator[Tuple[Rule, ast.AST, str]]:
         return
     globals_ = _module_globals(ctx.tree)
     for qual, fn in _functions(ctx.tree):
-        if not any(fnmatch(qual, pat) for pat in patterns):
+        classes = {klass for pat, klass in patterns if fnmatch(qual, pat)}
+        if not classes:
             continue
-        yield from _check_hot_function(ctx, qual, fn, globals_)
+        klass = "loops" if "loops" in classes else "vectorized"
+        yield from _check_hot_function(ctx, qual, fn, globals_, klass)
 
 
 def _check_hot_function(ctx: ModuleContext, qual: str, fn: ast.AST,
-                        globals_: Set[str]
+                        globals_: Set[str], klass: str = "loops"
                         ) -> Iterator[Tuple[Rule, ast.AST, str]]:
     parents = _parent_map(fn)
     skip = _annotation_nodes(fn)
@@ -295,6 +317,8 @@ def _check_hot_function(ctx: ModuleContext, qual: str, fn: ast.AST,
             continue
 
         if isinstance(node, ast.Compare):
+            if klass == "vectorized":
+                continue
             for op, comparator in zip(node.ops, node.comparators):
                 if (isinstance(op, (ast.In, ast.NotIn))
                         and isinstance(comparator, (ast.List, ast.ListComp))):
@@ -304,6 +328,8 @@ def _check_hot_function(ctx: ModuleContext, qual: str, fn: ast.AST,
             continue
 
         if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+            if klass == "vectorized":
+                continue
             if isinstance(node.left, (ast.List, ast.ListComp)) or \
                     isinstance(node.right, (ast.List, ast.ListComp)):
                 loops = _enclosing_loops(node, parents, fn)
@@ -314,6 +340,8 @@ def _check_hot_function(ctx: ModuleContext, qual: str, fn: ast.AST,
             continue
 
         if isinstance(node, _DISPLAYS):
+            if klass == "vectorized":
+                continue
             if isinstance(node, (ast.List, ast.Set)) and \
                     not isinstance(getattr(node, "ctx", ast.Load()), ast.Load):
                 continue
@@ -329,6 +357,12 @@ def _check_hot_function(ctx: ModuleContext, qual: str, fn: ast.AST,
         if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load) \
                 and isinstance(node.value, ast.Name):
             base = node.value.id
+            if klass == "vectorized" and (base not in globals_
+                                          or base in locals_):
+                # ndarray-local attribute probes are O(1) beside the
+                # O(m) array ops; only unhoisted module-global bases
+                # (an `np.minimum.at` left in a level loop) stay hot.
+                continue
             loops = _enclosing_loops(node, parents, fn)
             if not loops:
                 continue

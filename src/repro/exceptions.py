@@ -20,6 +20,9 @@ subclasses partition errors by subsystem:
 * :class:`QueryError` — a declarative query stream was malformed
   (mixed weightedness, unknown vertices, a query kind the session
   cannot serve); raised by :mod:`repro.query` before any kernel runs.
+* :class:`BackendError` — the kernel-backend seam was misconfigured
+  (an unknown backend name, or the vectorized backend requested while
+  numpy is absent); raised by :mod:`repro.backends`.
 """
 
 from __future__ import annotations
@@ -78,4 +81,15 @@ class QueryError(ReproError):
     (mixed weighted/unweighted queries, an unknown vertex, a
     restoration query without a scheme) never silently gets served by
     the wrong kernel.
+    """
+
+
+class BackendError(ReproError):
+    """The kernel-backend seam (:mod:`repro.backends`) was misconfigured.
+
+    Raised when an unknown backend name is requested (``set_backend``
+    argument or ``REPRO_BACKEND`` environment value), or when the
+    vectorized backend is *forced* while numpy is unavailable.  The
+    ``auto`` mode never raises — it silently falls back to the
+    pure-Python loops when numpy is absent.
     """

@@ -77,7 +77,8 @@ class CSRGraph:
     False
     """
 
-    __slots__ = ("_n", "_m", "indptr", "indices", "weights", "_arc_pos")
+    __slots__ = ("_n", "_m", "indptr", "indices", "weights", "_arc_pos",
+                 "_nd")
 
     def __init__(self, n: int, indptr: List[int], indices: List[int],
                  arc_pos: Dict[Edge, Tuple[int, int]],
@@ -87,6 +88,7 @@ class CSRGraph:
         self.indptr = indptr
         self.indices = indices
         self._arc_pos = arc_pos
+        self._nd: Optional[_NDMirror] = None
         if weights is not None:
             if len(weights) != len(indices):
                 raise GraphError(
@@ -247,6 +249,44 @@ class CSRGraph:
         return CSRFaultView(self, faults)
 
     # ------------------------------------------------------------------
+    def ndarrays(self) -> Optional["_NDMirror"]:
+        """Cached ndarray mirrors of the flat arrays (None sans numpy).
+
+        Built lazily on first request and cached for the snapshot's
+        lifetime, so the list→ndarray conversion cost is paid once per
+        snapshot, not once per kernel call — the contract the
+        vectorized backend (:mod:`repro.backends.vectorized`) relies
+        on.  Soundness follows from immutability: the flat arrays
+        never change after construction, so the mirror cannot go
+        stale.  Returns ``None`` when numpy is unavailable
+        (:func:`repro.backends.api.numpy_or_none` is the gate).
+        """
+        nd = self._nd
+        if nd is None:
+            from repro.backends.api import numpy_or_none
+            np = numpy_or_none()
+            if np is None:
+                return None
+            nd = self._nd = _NDMirror(np, self)
+        return nd
+
+    def __getstate__(self) -> Tuple[Any, ...]:
+        # The ndarray mirror is dropped: ndarrays don't belong on the
+        # multiprocessing pickle boundary (ScenarioEngine.run ships
+        # snapshots to workers) and are rebuilt lazily on demand.
+        return (self._n, self.indptr, self.indices, self._arc_pos,
+                self.weights)
+
+    def __setstate__(self, state: Tuple[Any, ...]) -> None:
+        n, indptr, indices, arc_pos, weights = state
+        self._n = n
+        self._m = len(indices) // 2
+        self.indptr = indptr
+        self.indices = indices
+        self._arc_pos = arc_pos
+        self.weights = weights
+        self._nd = None
+
     def _as_csr(self) -> Tuple["CSRGraph", Optional[bytearray]]:
         """Fast-path dispatch hook: ``(snapshot, arc mask or None)``."""
         return self, None
@@ -259,6 +299,49 @@ class CSRGraph:
 
     def __repr__(self) -> str:
         return f"CSRGraph(n={self._n}, m={self._m})"
+
+
+class _NDMirror:
+    """ndarray mirrors of one snapshot's flat arrays (numpy required).
+
+    Everything the vectorized kernels index per call, converted once:
+
+    * ``indptr`` / ``indices`` — int64 copies of the CSR arrays.
+    * ``tails`` — the tail vertex of every arc (``indices[i]`` is the
+      head; ``tails[i]`` the row it lives in), so a gathered arc set
+      knows both endpoints without bisecting ``indptr``.
+    * ``weights`` — int64 copy of the flat weights, or ``None`` when
+      the snapshot is unweighted *or* a weight overflows int64 (huge
+      tiebreaking perturbations); ``max_weight`` backs the
+      dispatcher's overflow guard.
+    * ``rev`` — the reverse-arc permutation: ``rev[i]`` is the
+      position of arc ``(head_i, tail_i)``.  Arc ids are sorted by
+      ``(tail, head)`` (rows are sorted), so the permutation sorting
+      them by ``(head, tail)`` *is* the reverse map on a simple graph.
+      Built only for weighted snapshots (seed lookups in the weighted
+      repair kernel need it).
+    """
+
+    __slots__ = ("indptr", "indices", "tails", "weights", "rev",
+                 "max_weight")
+
+    def __init__(self, np: Any, csr: "CSRGraph"):
+        self.indptr = np.asarray(csr.indptr, dtype=np.int64)
+        self.indices = np.asarray(csr.indices, dtype=np.int64)
+        counts = self.indptr[1:] - self.indptr[:-1]
+        self.tails = np.repeat(np.arange(csr.n, dtype=np.int64), counts)
+        self.weights: Any = None
+        self.rev: Any = None
+        self.max_weight = 0
+        if csr.weights is not None:
+            try:
+                w = np.asarray(csr.weights, dtype=np.int64)
+            except OverflowError:
+                w = None
+            if w is not None:
+                self.weights = w
+                self.max_weight = int(w.max()) if len(csr.weights) else 0
+                self.rev = np.lexsort((self.tails, self.indices))
 
 
 class CSRFaultView:

@@ -39,6 +39,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.backends.dispatch import kernel_impl
 from repro.graphs.csr import CSRGraph
 from repro.spt.fastpaths import UNREACHABLE, flat_weights
 
@@ -55,7 +56,20 @@ def csr_bfs_repair(csr: CSRGraph, mask: Optional[bytearray],
     was computed from; ``changed`` lists (sorted) the orphans whose
     distance differs from the base — orphans with an equally short
     surviving detour are *not* changed, only re-verified.
+
+    Dispatching wrapper: the orphan set is materialised once (its
+    size feeds the calibrated dispatch table) and the call served by
+    the chosen kernel backend (:mod:`repro.backends`).
     """
+    orph = list(orphans)
+    impl = kernel_impl("csr_bfs_repair", csr, len(orph))
+    return impl(csr, mask, base, orph)
+
+
+def csr_bfs_repair_loops(csr: CSRGraph, mask: Optional[bytearray],
+                         base: List[int], orphans: Iterable[int]
+                         ) -> Tuple[List[int], List[int]]:
+    """The bucketed loop implementation (the ``pyloops`` backend)."""
     indptr, indices = csr.indptr, csr.indices
     aff = set(orphans)
     patched = list(base)
@@ -124,7 +138,19 @@ def csr_dijkstra_repair(csr: CSRGraph, mask: Optional[bytearray],
     must carry a flat ``weights`` array; antisymmetric arrays repair
     exactly (seed arcs are read in the intact->orphan direction via
     the reverse arc position).
+
+    Dispatching wrapper over the kernel backend seam, like
+    :func:`csr_bfs_repair`.
     """
+    orph = list(orphans)
+    impl = kernel_impl("csr_dijkstra_repair", csr, len(orph))
+    return impl(csr, mask, base, orph)
+
+
+def csr_dijkstra_repair_loops(csr: CSRGraph, mask: Optional[bytearray],
+                              base: List[int], orphans: Iterable[int]
+                              ) -> Tuple[List[int], List[int]]:
+    """The heap-based loop implementation (the ``pyloops`` backend)."""
     weights = flat_weights(csr)
     indptr, indices = csr.indptr, csr.indices
     arc_positions = csr.arc_positions

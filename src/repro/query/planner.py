@@ -321,7 +321,7 @@ class Planner:
         # the LRU either way); what the patch cannot serve stays in
         # the wave.
         rows: Dict[int, List[int]] = {}
-        delta_rows = set()
+        delta_rows: Dict[int, Optional[str]] = {}
         if wave and fault_key and getattr(engine, "delta_enabled", False):
             batch_hint = len(wave)
             for origin in list(wave):
@@ -329,7 +329,10 @@ class Planner:
                                        batch_hint=batch_hint)
                 if vec is not None:
                     rows[origin] = vec
-                    delta_rows.add(origin)
+                    # Which kernel backend patched this origin — the
+                    # engine records it per repair call.
+                    delta_rows[origin] = getattr(
+                        engine, "last_repair_backend", None)
                     del wave[origin]
         # Phase 2: one batched multi-source wave serves every pending
         # query (and populates the vector cache for later gathers).
@@ -343,14 +346,23 @@ class Planner:
             rows.update(zip(batch, vectors))
             group.wave_size = len(batch)
             plan.waves += 1
-        wave_of = Provenance("wave", "masked-wave", kernel=kernel,
-                             side=group.side, wave_size=group.wave_size)
-        delta_of = Provenance(
-            "delta", "patched-region",
-            kernel=("csr_dijkstra_repair" if engine.weighted
-                    else "csr_bfs_repair"),
-            side=group.side,
+        wave_of = Provenance(
+            "wave", "masked-wave", kernel=kernel,
+            side=group.side, wave_size=group.wave_size,
+            backend=(engine.wave_backend(group.wave_size)
+                     if group.wave_size else None),
         )
+        repair_kernel = ("csr_dijkstra_repair" if engine.weighted
+                         else "csr_bfs_repair")
+        # One Provenance per patched origin: backends dispatch on the
+        # orphaned-region size, so origins in the same group may have
+        # been served by different backends.
+        delta_of = {
+            origin: Provenance("delta", "patched-region",
+                               kernel=repair_kernel, side=group.side,
+                               backend=served_by)
+            for origin, served_by in delta_rows.items()
+        }
         for i in pending:
             q = queries[i]
             if isinstance(q, _PAIR_KINDS):
@@ -359,12 +371,12 @@ class Planner:
                 engine.store_pair(q.source, q.target, fault_key, dist)
                 answers[i] = Answer(
                     q, self._pair_value(q, dist),
-                    delta_of if origin in delta_rows else wave_of,
+                    delta_of.get(origin, wave_of),
                 )
             else:
                 answers[i] = Answer(
                     q, self._vector_value(q, rows[q.source]),
-                    delta_of if q.source in delta_rows else wave_of,
+                    delta_of.get(q.source, wave_of),
                 )
         for i in conn:
             q = queries[i]
@@ -375,7 +387,7 @@ class Planner:
                 origin, vec = next(iter(rows.items()))
                 answers[i] = Answer(
                     q, UNREACHABLE not in vec,
-                    delta_of if origin in delta_rows else wave_of,
+                    delta_of.get(origin, wave_of),
                 )
             else:
                 answers[i] = Answer(q, UNREACHABLE not in conn_vector,

@@ -185,6 +185,11 @@ class Provenance:
       ``kernel`` names it, ``wave_size`` counts the sources the wave
       served, and ``side`` records the waved side (``"source"`` /
       ``"target"``) for pair-type queries.
+
+    ``backend`` names the kernel backend (:mod:`repro.backends` —
+    ``"pyloops"`` or ``"vectorized"``) that served a ``"wave"`` or
+    ``"delta"`` answer; cache and filter answers ran no kernel, so it
+    stays ``None``.
     """
 
     source: str
@@ -192,6 +197,7 @@ class Provenance:
     kernel: Optional[str] = None
     side: Optional[str] = None
     wave_size: int = 0
+    backend: Optional[str] = None
 
 
 @dataclass(frozen=True)

@@ -88,16 +88,13 @@ from contextlib import contextmanager
 from dataclasses import dataclass, fields
 from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.backends.dispatch import backend_for
 from repro.exceptions import GraphError
 from repro.graphs.base import Edge, Graph, canonical_edge
 from repro.graphs.csr import CSRFaultView, CSRGraph
 from repro.incremental.affected import CostModel, affected_region
-from repro.incremental.repair import csr_bfs_repair, csr_dijkstra_repair
 from repro.scenarios.enumerate import FaultSet, _canonical
-from repro.spt.batched import (
-    csr_bfs_distances_many,
-    csr_weighted_distances_many,
-)
+from repro.spt.batched import csr_bfs_distances_many
 from repro.spt.bfs import UNREACHABLE
 from repro.spt.fastpaths import (
     csr_bfs_distances,
@@ -135,7 +132,10 @@ class CacheInfo:
     ``delta_fallbacks`` the scenarios whose region was too large, so
     the cost model sent them back to the full-wave path.  ``size``
     counts entries of both kinds; ``maxsize`` bounds their sum — one
-    eviction policy.
+    eviction policy.  ``wave_backends`` reports which kernel backend
+    (:mod:`repro.backends`) served the engine's batched waves, as
+    sorted ``(name, count)`` pairs — JSON-able and hashable like every
+    other field.
 
     Attribute access is the canonical interface; ``__getitem__`` and
     ``keys`` keep the pre-existing mapping idiom working, so
@@ -153,8 +153,9 @@ class CacheInfo:
     delta_fallbacks: int
     size: int
     maxsize: int
+    wave_backends: Tuple[Tuple[str, int], ...] = ()
 
-    def __getitem__(self, key: str) -> int:
+    def __getitem__(self, key: str) -> Any:
         if key not in _CACHE_INFO_FIELDS:
             raise KeyError(key)
         return getattr(self, key)
@@ -177,7 +178,7 @@ class CacheInfo:
     def __hash__(self) -> int:
         return hash(tuple(self.as_dict().values()))
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, Any]:
         """A plain dict (JSON-ready), same keys as the PR-2 payload."""
         return {name: getattr(self, name) for name in _CACHE_INFO_FIELDS}
 
@@ -448,6 +449,10 @@ class ScenarioEngine:
         self._delta_seen: Set[int] = set()
         self.delta_hits = 0
         self.delta_fallbacks = 0
+        # Waves served per kernel backend (repro.backends) — surfaced
+        # through cache_info() and the Session stats.
+        self.wave_backends: Dict[str, int] = {}
+        self.last_repair_backend: Optional[str] = None
         # Perturbed-weight state (weighted mode): snapshot per seed,
         # SSSP result per (seed, source) — the amortised substrate of
         # restore_via_middle_edge over a scenario stream.
@@ -707,10 +712,14 @@ class ScenarioEngine:
         if not region.patch:
             self.delta_fallbacks += 1
             return None
-        repair = csr_dijkstra_repair if self.weighted else csr_bfs_repair
+        kernel = ("csr_dijkstra_repair" if self.weighted
+                  else "csr_bfs_repair")
+        orphans = list(region.orphans)
+        backend = backend_for(kernel, self.csr, batch=len(orphans))
+        self.last_repair_backend = backend.name
+        repair = getattr(backend, kernel)
         with self._masked(fault_key) as mask:
-            patched, _changed = repair(self.csr, mask, base,
-                                       region.orphans)
+            patched, _changed = repair(self.csr, mask, base, orphans)
         self.delta_hits += 1
         self._memo_put((source, fault_key), patched)
         return patched
@@ -922,7 +931,42 @@ class ScenarioEngine:
             delta_fallbacks=self.delta_fallbacks,
             size=len(self._memo),
             maxsize=self._memo_max,
+            wave_backends=tuple(sorted(self.wave_backends.items())),
         )
+
+    # ------------------------------------------------------------------
+    # kernel-backend seam
+    # ------------------------------------------------------------------
+    def wave_backend(self, width: int = 1) -> str:
+        """Name of the backend a ``width``-source wave resolves to now.
+
+        A pure (side-effect-free) dispatch probe: the planner stamps it
+        into wave provenance without forcing a wave, and callers can
+        preview how :func:`repro.backends.set_backend` or the
+        calibrated thresholds would route a batch of ``width`` sources
+        on this engine's snapshot.
+        """
+        kernel = ("csr_weighted_distances_many" if self.weighted
+                  else "csr_bfs_distances_many")
+        return backend_for(kernel, self.csr, batch=width).name
+
+    def _wave(self, mask: Optional[bytearray],
+              sources: List[int]) -> List[List[int]]:
+        """One batched multi-source wave through the backend seam.
+
+        Resolves the batched kernel for this engine (weighted or hop)
+        via :func:`repro.backends.dispatch.backend_for`, tallies the
+        serving backend into :attr:`wave_backends`, and returns the
+        distance rows aligned with ``sources``.
+        """
+        kernel = ("csr_weighted_distances_many" if self.weighted
+                  else "csr_bfs_distances_many")
+        backend = backend_for(kernel, self.csr, batch=len(sources))
+        name = backend.name
+        self.wave_backends[name] = self.wave_backends.get(name, 0) + 1
+        rows: List[List[int]] = getattr(backend, kernel)(
+            self.csr, mask, sources)
+        return rows
 
     def __repr__(self) -> str:
         return (
@@ -978,8 +1022,6 @@ class ScenarioEngine:
         engine's caches and with other callers.
         """
         sources = list(sources)
-        kernel = (csr_weighted_distances_many if self.weighted
-                  else csr_bfs_distances_many)
         fault_key = _canonical(faults)
         if not fault_key:
             # The fault-free batch shares the unbounded base-distance
@@ -987,7 +1029,7 @@ class ScenarioEngine:
             missing = [s for s in dict.fromkeys(sources)
                        if s not in self._base_dist]
             if missing:
-                rows = kernel(self.csr, None, missing)
+                rows = self._wave(None, missing)
                 self._base_dist.update(zip(missing, rows))
             return [self.base_distances(s) for s in sources]
         out: List[Optional[List[int]]] = [None] * len(sources)
@@ -1029,7 +1071,7 @@ class ScenarioEngine:
                 if memo_max:
                     self.vector_misses += len(waving)
                 with self._masked(fault_key) as mask:
-                    rows = kernel(self.csr, mask, waving)
+                    rows = self._wave(mask, waving)
                 memo_put = self._memo_put
                 for s, row in zip(waving, rows):
                     memo_put((s, fault_key), row)
@@ -1089,13 +1131,12 @@ class ScenarioEngine:
             if bucket is None:
                 groups[fault_key] = bucket = []
             bucket.append(i)
-        kernel = (csr_weighted_distances_many if self.weighted
-                  else csr_bfs_distances_many)
         memo_max = self._memo_max
         memo_put = self._memo_put
         touches = self.faults_touch_pair
         offer_delta = self.try_delta
         masked = self._masked
+        wave = self._wave
         for fault_key, idxs in groups.items():
             pending: Dict[int, List[int]] = {}
             pending_get = pending.get
@@ -1143,7 +1184,7 @@ class ScenarioEngine:
             if memo_max:
                 self.vector_misses += len(waving)
             with masked(fault_key) as mask:
-                rows = kernel(csr, mask, waving)
+                rows = wave(mask, waving)
             for s, row in zip(waving, rows):
                 memo_put((s, fault_key), row)
                 for i in pending[s]:

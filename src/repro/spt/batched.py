@@ -39,6 +39,7 @@ import heapq
 from bisect import bisect_right
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.backends.dispatch import kernel_impl
 from repro.graphs.csr import CSRGraph
 from repro.spt.fastpaths import UNREACHABLE, _check_source, flat_weights
 
@@ -47,6 +48,49 @@ __all__ = [
     "csr_weighted_distances_many",
     "csr_dijkstra_flat_many",
 ]
+
+
+def csr_bfs_distances_many(csr: CSRGraph, mask: Optional[bytearray],
+                           sources: Iterable[int]) -> List[List[int]]:
+    """Hop-distance vectors for a batch of sources in one BFS wave.
+
+    Dispatching wrapper: the batch is materialised once (its width
+    feeds the calibrated dispatch table) and served by whichever
+    kernel backend (:mod:`repro.backends`) wins at this work size —
+    the bit-packed loops below or the vectorized 2-D frontier matrix
+    — with bit-identical results either way.
+    """
+    src = list(sources)
+    impl = kernel_impl("csr_bfs_distances_many", csr, len(src))
+    return impl(csr, mask, src)
+
+
+def csr_weighted_distances_many(csr: CSRGraph, mask: Optional[bytearray],
+                                sources: Iterable[int]) -> List[List[int]]:
+    """Dense weighted distance vectors for a batch of sources.
+
+    Dispatching wrapper over the kernel backend seam; see
+    :func:`csr_weighted_distances_many_loops` for the loop semantics
+    every backend is pinned to.
+    """
+    src = list(sources)
+    impl = kernel_impl("csr_weighted_distances_many", csr, len(src))
+    return impl(csr, mask, src)
+
+
+def csr_dijkstra_flat_many(csr: CSRGraph, mask: Optional[bytearray],
+                           sources: Iterable[int]
+                           ) -> List[Tuple[Dict[int, int],
+                                           Dict[int, Optional[int]]]]:
+    """Batched :func:`repro.spt.fastpaths.csr_dijkstra_flat`.
+
+    Dispatching wrapper over the kernel backend seam; see
+    :func:`csr_dijkstra_flat_many_loops` for the loop semantics every
+    backend is pinned to.
+    """
+    src = list(sources)
+    impl = kernel_impl("csr_dijkstra_flat_many", csr, len(src))
+    return impl(csr, mask, src)
 
 # Bit offsets set in each byte value: the row-write loop decodes a wide
 # discovery mask byte-by-byte through this table instead of peeling one
@@ -92,9 +136,9 @@ def _blocked_rows(indptr: List[int],
     return frozenset(bisect_right(indptr, pos) - 1 for pos in zeros)
 
 
-def csr_bfs_distances_many(csr: CSRGraph, mask: Optional[bytearray],
-                           sources: Iterable[int]) -> List[List[int]]:
-    """Hop-distance vectors for a batch of sources in one BFS wave.
+def csr_bfs_distances_many_loops(csr: CSRGraph, mask: Optional[bytearray],
+                                 sources: Iterable[int]) -> List[List[int]]:
+    """The bit-packed loop implementation (the ``pyloops`` backend).
 
     Returns one dense vector per source, aligned with the input order
     (duplicates included), each bit-identical to
@@ -200,9 +244,11 @@ def csr_bfs_distances_many(csr: CSRGraph, mask: Optional[bytearray],
     return dists
 
 
-def csr_weighted_distances_many(csr: CSRGraph, mask: Optional[bytearray],
-                                sources: Iterable[int]) -> List[List[int]]:
-    """Dense weighted distance vectors for a batch of sources.
+def csr_weighted_distances_many_loops(csr: CSRGraph,
+                                      mask: Optional[bytearray],
+                                      sources: Iterable[int]
+                                      ) -> List[List[int]]:
+    """The scratch-reusing loop implementation (``pyloops`` backend).
 
     One vector per source, aligned with the input order, each
     bit-identical to ``csr_weighted_distances(csr, mask, source)``.
@@ -289,11 +335,11 @@ def csr_weighted_distances_many(csr: CSRGraph, mask: Optional[bytearray],
     return out
 
 
-def csr_dijkstra_flat_many(csr: CSRGraph, mask: Optional[bytearray],
-                           sources: Iterable[int]
-                           ) -> List[Tuple[Dict[int, int],
-                                           Dict[int, Optional[int]]]]:
-    """Batched :func:`repro.spt.fastpaths.csr_dijkstra_flat`.
+def csr_dijkstra_flat_many_loops(csr: CSRGraph, mask: Optional[bytearray],
+                                 sources: Iterable[int]
+                                 ) -> List[Tuple[Dict[int, int],
+                                                 Dict[int, Optional[int]]]]:
+    """The scratch-reusing loop implementation (``pyloops`` backend).
 
     One ``(dist, parent)`` pair per source, aligned with the input
     order and bit-identical to the per-source kernel (no ``targets``

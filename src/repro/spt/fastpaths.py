@@ -41,6 +41,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.backends.dispatch import kernel_impl
 from repro.exceptions import GraphError
 from repro.graphs.csr import CSRGraph
 
@@ -54,7 +55,20 @@ def _check_source(csr: CSRGraph, source: int, role: str = "source") -> None:
 
 def csr_bfs_distances(csr: CSRGraph, mask: Optional[bytearray],
                       source: int) -> List[int]:
-    """Hop distances from ``source`` over a (possibly masked) snapshot."""
+    """Hop distances from ``source`` over a (possibly masked) snapshot.
+
+    Dispatching wrapper: the call is served by whichever kernel
+    backend (:mod:`repro.backends`) the calibrated table picks for
+    this snapshot's size — the loops below
+    (:func:`csr_bfs_distances_loops`) or the vectorized sibling —
+    with bit-identical results either way.
+    """
+    return kernel_impl("csr_bfs_distances", csr)(csr, mask, source)
+
+
+def csr_bfs_distances_loops(csr: CSRGraph, mask: Optional[bytearray],
+                            source: int) -> List[int]:
+    """The pure-Python loop implementation (the ``pyloops`` backend)."""
     _check_source(csr, source)
     indptr, indices = csr.indptr, csr.indices
     dist = [UNREACHABLE] * csr.n
@@ -220,10 +234,27 @@ def csr_dijkstra_flat(csr: CSRGraph, mask: Optional[bytearray],
     """Single-source Dijkstra reading weights from the flat arc array.
 
     Same semantics and return shape as :func:`csr_dijkstra`, but the
-    snapshot must carry a ``weights`` array: the inner loop then reads
-    ``weights[i]`` by index instead of calling a Python weight function
-    per arc.  Weight positivity was validated when the array was built,
-    so no per-arc check is needed.
+    snapshot must carry a ``weights`` array.  Dispatching wrapper:
+    full-tree calls (``targets is None``) go through the kernel
+    backend seam (:mod:`repro.backends`); targeted calls always run
+    the loops (:func:`csr_dijkstra_flat_loops`) — the early exit is
+    inherently sequential.
+    """
+    if targets is not None:
+        return csr_dijkstra_flat_loops(csr, mask, source, targets)
+    return kernel_impl("csr_dijkstra_flat", csr)(csr, mask, source)
+
+
+def csr_dijkstra_flat_loops(csr: CSRGraph, mask: Optional[bytearray],
+                            source: int,
+                            targets: Optional[Iterable[int]] = None
+                            ) -> Tuple[Dict[int, int],
+                                       Dict[int, Optional[int]]]:
+    """The pure-Python loop implementation (the ``pyloops`` backend).
+
+    The inner loop reads ``weights[i]`` by index instead of calling a
+    Python weight function per arc.  Weight positivity was validated
+    when the array was built, so no per-arc check is needed.
     """
     _check_source(csr, source)
     weights = flat_weights(csr)
@@ -269,8 +300,15 @@ def csr_weighted_distances(csr: CSRGraph, mask: Optional[bytearray],
 
     The weighted analogue of :func:`csr_bfs_distances` — the scenario
     engine's hot path for weighted streams: no parent bookkeeping, no
-    dict results, just one flat vector per scenario.
+    dict results, just one flat vector per scenario.  Dispatching
+    wrapper over the kernel backend seam (:mod:`repro.backends`).
     """
+    return kernel_impl("csr_weighted_distances", csr)(csr, mask, source)
+
+
+def csr_weighted_distances_loops(csr: CSRGraph, mask: Optional[bytearray],
+                                 source: int) -> List[int]:
+    """The pure-Python loop implementation (the ``pyloops`` backend)."""
     _check_source(csr, source)
     weights = flat_weights(csr)
     indptr, indices = csr.indptr, csr.indices

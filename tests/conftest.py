@@ -11,8 +11,27 @@ import warnings
 
 import pytest
 
+from repro.backends import numpy_or_none, set_backend
 from repro.graphs import generators
 from repro.core.scheme import BFSTiebreaking, RestorableTiebreaking
+
+
+@pytest.fixture(params=["pyloops", "vectorized"])
+def backend(request):
+    """Pin the kernel-backend seam to one backend for the test body.
+
+    Parametrising a bit-identity suite over this fixture runs it once
+    per backend; the ``vectorized`` leg skips cleanly when numpy is
+    absent (or disabled via ``REPRO_NO_NUMPY``), so the no-numpy CI
+    matrix leg still runs the ``pyloops`` half.
+    """
+    if request.param == "vectorized" and numpy_or_none() is None:
+        pytest.skip("numpy unavailable: vectorized backend leg skipped")
+    previous = set_backend(request.param)
+    try:
+        yield request.param
+    finally:
+        set_backend(previous)
 
 
 @pytest.fixture(autouse=True)

@@ -10,6 +10,7 @@ from repro.analysis.experiments import (
     format_table,
     timed,
 )
+from repro.backends.api import numpy_or_none
 
 
 class TestBoundFormulas:
@@ -53,6 +54,8 @@ class TestBoundFormulas:
 
 class TestFitExponent:
     def test_recovers_power_law(self):
+        if numpy_or_none() is None:
+            pytest.skip("fit_exponent needs numpy")
         xs = [10, 20, 40, 80]
         ys = [x ** 1.5 * 3 for x in xs]
         slope, intercept = bounds.fit_exponent(xs, ys)
@@ -60,10 +63,17 @@ class TestFitExponent:
         assert math.exp(intercept) == pytest.approx(3, rel=1e-9)
 
     def test_rejects_degenerate(self):
+        if numpy_or_none() is None:
+            pytest.skip("fit_exponent needs numpy")
         with pytest.raises(ValueError):
             bounds.fit_exponent([1], [1])
         with pytest.raises(ValueError):
             bounds.fit_exponent([1, -2], [1, 2])
+
+    def test_clear_error_without_numpy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        with pytest.raises(RuntimeError, match="numpy"):
+            bounds.fit_exponent([10, 20], [1, 2])
 
 
 class TestExperimentHelpers:

@@ -1,0 +1,299 @@
+"""The kernel-backend seam: dispatch, fallback, and threading.
+
+Bit-identity of the vectorized kernels is pinned by the hypothesis
+suites (``test_csr_fastpaths``, ``test_batched_sources``,
+``test_incremental``) parametrised over the ``backend`` fixture; this
+module covers the seam itself — mode precedence (pin > env > auto),
+the calibrated work thresholds, the numpy-absent fallback, protocol
+conformance of both backends, the CSR ndarray mirror's lifecycle, and
+the provenance/stats threading up through ``Session``.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.backends import (
+    KERNEL_NAMES,
+    UNREACHABLE,
+    calibrate,
+    current_mode,
+    numpy_or_none,
+    reset_thresholds,
+    set_backend,
+    set_thresholds,
+    thresholds,
+)
+from repro.backends.dispatch import backend_for, backend_name_for, kernel_impl
+from repro.exceptions import BackendError, GraphError
+from repro.graphs import generators
+from repro.query import DistanceQuery, Session, VectorQuery
+from repro.scenarios import ScenarioEngine
+from repro.spt.bfs import UNREACHABLE as BFS_UNREACHABLE
+from repro.spt.fastpaths import csr_bfs_distances
+
+HAVE_NUMPY = numpy_or_none() is not None
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy")
+
+
+@pytest.fixture(autouse=True)
+def _clean_seam(monkeypatch):
+    """Every test starts unpinned, env-free, on default thresholds."""
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    monkeypatch.delenv("REPRO_NO_NUMPY", raising=False)
+    previous = set_backend(None)
+    yield
+    set_backend(previous)
+    reset_thresholds()
+
+
+def small_csr():
+    return generators.cycle(6).csr()
+
+
+def big_csr():
+    return generators.gnm(300, 1200, seed=4).csr()
+
+
+class TestModePrecedence:
+    def test_default_is_auto(self):
+        assert current_mode() == "auto"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "pyloops")
+        assert current_mode() == "pyloops"
+        assert backend_name_for("csr_bfs_distances", big_csr()) == "pyloops"
+
+    def test_pin_shadows_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "pyloops")
+        set_backend("auto")
+        assert current_mode() == "auto"
+
+    def test_bad_env_raises_at_resolution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "simd")
+        with pytest.raises(BackendError):
+            current_mode()
+
+    def test_unknown_pin_rejected(self):
+        with pytest.raises(BackendError):
+            set_backend("fortran")
+
+    def test_pin_returns_previous(self):
+        assert set_backend("pyloops") is None
+        assert set_backend(None) == "pyloops"
+
+
+class TestAutoDispatch:
+    def test_small_calls_stay_on_pyloops(self):
+        # cycle(6): 12 arcs of work — far under every default threshold.
+        assert backend_name_for("csr_bfs_distances", small_csr()) == "pyloops"
+
+    @needs_numpy
+    def test_large_batched_call_goes_vectorized(self):
+        csr = big_csr()
+        assert backend_name_for("csr_bfs_distances_many", csr,
+                                batch=256) == "vectorized"
+
+    @needs_numpy
+    def test_threshold_table_is_consulted(self):
+        csr = small_csr()
+        set_thresholds({"csr_bfs_distances": 1})
+        assert backend_name_for("csr_bfs_distances", csr) == "vectorized"
+        reset_thresholds()
+        assert backend_name_for("csr_bfs_distances", csr) == "pyloops"
+
+    def test_set_thresholds_rejects_unknown_kernels(self):
+        with pytest.raises(BackendError):
+            set_thresholds({"csr_warp_distances": 10})
+
+    def test_thresholds_returns_a_copy(self):
+        table = thresholds()
+        table["csr_bfs_distances"] = -1
+        assert thresholds()["csr_bfs_distances"] != -1
+
+    @needs_numpy
+    def test_weighted_auto_requires_safe_weights(self):
+        # Weights near 2**62 would overflow a vectorized path sum:
+        # auto must route the call to the loops even above threshold.
+        g = generators.cycle(6)
+        csr = g.csr().with_arc_weights(lambda u, v: 1 << 61)
+        set_thresholds({"csr_weighted_distances": 1})
+        assert backend_name_for("csr_weighted_distances",
+                                csr) == "pyloops"
+
+
+class TestNumpyFallback:
+    def test_no_numpy_env_disables_probe(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        assert numpy_or_none() is None
+
+    def test_no_numpy_env_zero_is_off(self, monkeypatch):
+        # "0" disables the kill switch, so availability must track the
+        # actual install — not HAVE_NUMPY, which snapshots the outer
+        # environment (a no-numpy CI leg exports REPRO_NO_NUMPY=1).
+        monkeypatch.setenv("REPRO_NO_NUMPY", "0")
+        try:
+            import numpy  # noqa: F401
+            installed = True
+        except ImportError:
+            installed = False
+        assert (numpy_or_none() is None) == (not installed)
+
+    def test_auto_falls_back_without_numpy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        assert backend_name_for("csr_bfs_distances_many", big_csr(),
+                                batch=256) == "pyloops"
+
+    def test_forcing_vectorized_without_numpy_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        with pytest.raises(BackendError):
+            set_backend("vectorized")
+
+    def test_env_forced_vectorized_without_numpy_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        monkeypatch.setenv("REPRO_BACKEND", "vectorized")
+        with pytest.raises(BackendError):
+            backend_for("csr_bfs_distances", small_csr())
+
+    def test_kernels_still_serve_without_numpy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        csr = small_csr()
+        assert csr_bfs_distances(csr, None, 0) == [0, 1, 2, 3, 2, 1]
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize("mode", ["pyloops", "vectorized"])
+    def test_backend_exposes_every_kernel(self, mode):
+        if mode == "vectorized" and not HAVE_NUMPY:
+            pytest.skip("needs numpy")
+        set_backend(mode)
+        backend = backend_for("csr_bfs_distances", small_csr())
+        assert backend.name == mode
+        for kernel in KERNEL_NAMES:
+            assert callable(getattr(backend, kernel)), kernel
+
+    def test_unreached_sentinel_is_shared(self):
+        assert UNREACHABLE == BFS_UNREACHABLE == -1
+
+    @needs_numpy
+    def test_kernel_impl_routes_by_mode(self):
+        csr = small_csr()
+        set_backend("vectorized")
+        vec_fn = kernel_impl("csr_bfs_distances", csr)
+        set_backend("pyloops")
+        loop_fn = kernel_impl("csr_bfs_distances", csr)
+        assert vec_fn is not loop_fn
+        assert vec_fn(csr, None, 0) == loop_fn(csr, None, 0)
+
+    @needs_numpy
+    def test_unknown_source_raises_on_both(self):
+        csr = small_csr()
+        for mode in ("pyloops", "vectorized"):
+            set_backend(mode)
+            with pytest.raises(GraphError):
+                kernel_impl("csr_bfs_distances", csr)(csr, None, 99)
+
+
+class TestNDMirror:
+    @needs_numpy
+    def test_mirror_is_cached(self):
+        csr = small_csr()
+        nd = csr.ndarrays()
+        assert nd is not None
+        assert csr.ndarrays() is nd
+
+    def test_mirror_none_without_numpy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        assert small_csr().ndarrays() is None
+
+    @needs_numpy
+    def test_pickle_drops_the_mirror(self):
+        csr = small_csr()
+        csr.ndarrays()
+        clone = pickle.loads(pickle.dumps(csr))
+        assert clone._nd is None
+        assert clone.indptr == csr.indptr
+        assert clone.ndarrays() is not None
+
+    @needs_numpy
+    def test_weighted_mirror_carries_reverse_map(self):
+        np = numpy_or_none()
+        csr = generators.cycle(5).csr().with_arc_weights(
+            lambda u, v: 1 + u * 10 + v)
+        nd = csr.ndarrays()
+        assert nd.weights is not None
+        # rev[i] is the arc (head_i, tail_i): weights[rev] must be the
+        # reverse-direction weight of every arc.
+        for i in range(len(csr.indices)):
+            t, h = int(nd.tails[i]), int(nd.indices[i])
+            assert int(nd.weights[nd.rev[i]]) == 1 + h * 10 + t
+        assert np is not None
+
+
+class TestCalibrate:
+    @needs_numpy
+    def test_calibrate_installs_a_full_table(self):
+        table = calibrate(sizes=(24,), repeats=1)
+        assert set(table) == set(KERNEL_NAMES)
+        assert all(v >= 1 for v in table.values())
+        assert thresholds() == table
+
+    def test_calibrate_is_a_noop_without_numpy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        before = thresholds()
+        assert calibrate(sizes=(24,), repeats=1) == before
+
+
+class TestBackendThreading:
+    def test_cache_info_reports_wave_backends(self):
+        engine = ScenarioEngine(generators.torus(4, 4))
+        engine.source_vectors([0, 1, 2], [(0, 1)], try_delta=False)
+        info = engine.cache_info()
+        assert dict(info.wave_backends) == {engine.wave_backend(3): 1}
+        assert dict(info)["wave_backends"] == info.wave_backends
+
+    def test_wave_backend_probe_is_pure(self):
+        engine = ScenarioEngine(generators.torus(4, 4))
+        name = engine.wave_backend(64)
+        assert name in ("pyloops", "vectorized")
+        assert engine.cache_info().wave_backends == ()
+
+    def test_wave_provenance_carries_backend(self):
+        session = Session(generators.torus(4, 4))
+        answer = session.answer(
+            [VectorQuery(source=0, faults=((0, 1),))])[0]
+        assert answer.provenance.source == "wave"
+        assert answer.provenance.backend in ("pyloops", "vectorized")
+
+    def test_cached_answer_has_no_backend(self):
+        session = Session(generators.torus(4, 4))
+        query = [DistanceQuery(source=0, target=5, faults=((0, 1),))]
+        session.answer(query)
+        again = session.answer(query)[0]
+        assert again.provenance.source == "cache"
+        assert again.provenance.backend is None
+
+    def test_session_stats_count_by_backend(self):
+        session = Session(generators.torus(4, 4))
+        session.answer([VectorQuery(source=s, faults=((0, 1),))
+                        for s in range(4)])
+        stats = session.stats
+        assert sum(stats.by_backend.values()) == stats.wave + stats.delta
+        assert set(stats.by_backend) <= {"pyloops", "vectorized"}
+
+    def test_delta_provenance_carries_backend(self):
+        g = generators.torus(5, 5)
+        session = Session(g)
+        faults = ((0, 1),)
+        # Warm the origin so the delta path serves the repeat.
+        session.answer([VectorQuery(source=0, faults=faults)])
+        session.answer([VectorQuery(source=0, faults=((0, 5),))])
+        answers = session.answer([VectorQuery(source=0,
+                                              faults=((1, 2),))])
+        prov = answers[0].provenance
+        if prov.source == "delta":
+            assert prov.backend in ("pyloops", "vectorized")
+            assert prov.backend == session.engine.last_repair_backend

@@ -48,6 +48,15 @@ COMMON = dict(
     suppress_health_check=[HealthCheck.too_slow],
 )
 
+# Suites taking the `backend` fixture (pinning the kernel-backend seam)
+# also suppress the function-scoped-fixture health check: the pin is
+# idempotent across hypothesis examples.
+BACKEND_COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow,
+                           HealthCheck.function_scoped_fixture],
+)
+
 
 @st.composite
 def batched_cases(draw, min_n=2, max_n=14, max_faults=3):
@@ -85,8 +94,8 @@ def batched_cases(draw, min_n=2, max_n=14, max_faults=3):
 
 
 @given(batched_cases())
-@settings(max_examples=120, **COMMON)
-def test_bfs_many_bit_identical(case):
+@settings(max_examples=120, **BACKEND_COMMON)
+def test_bfs_many_bit_identical(backend, case):
     g, faults, sources = case
     csr = g.csr()
     for mask in (None, csr.without(faults)._as_csr()[1]):
@@ -96,8 +105,8 @@ def test_bfs_many_bit_identical(case):
 
 
 @given(batched_cases())
-@settings(max_examples=80, **COMMON)
-def test_weighted_many_bit_identical(case):
+@settings(max_examples=80, **BACKEND_COMMON)
+def test_weighted_many_bit_identical(backend, case):
     g, faults, sources = case
     rng = random.Random(11)
     weight = {}
@@ -111,8 +120,8 @@ def test_weighted_many_bit_identical(case):
 
 
 @given(batched_cases())
-@settings(max_examples=60, **COMMON)
-def test_dijkstra_flat_many_bit_identical(case):
+@settings(max_examples=60, **BACKEND_COMMON)
+def test_dijkstra_flat_many_bit_identical(backend, case):
     """Antisymmetric (tiebreaking) weights: dist *and* parents agree."""
     g, faults, sources = case
     atw = AntisymmetricWeights.random(g, f=1, seed=7)

@@ -22,6 +22,15 @@ COMMON = dict(
     suppress_health_check=[HealthCheck.too_slow],
 )
 
+# For suites parametrised over the session-global `backend` fixture:
+# the pin is idempotent across hypothesis examples, so the
+# function-scoped-fixture health check is a false positive here.
+BACKEND_COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow,
+                           HealthCheck.function_scoped_fixture],
+)
+
 
 @st.composite
 def graphs_with_faults(draw, min_n=3, max_n=16, max_faults=3):
@@ -47,8 +56,8 @@ def graphs_with_faults(draw, min_n=3, max_n=16, max_faults=3):
 
 
 @given(graphs_with_faults())
-@settings(max_examples=120, **COMMON)
-def test_bfs_distances_bit_identical(case):
+@settings(max_examples=120, **BACKEND_COMMON)
+def test_bfs_distances_bit_identical(backend, case):
     g, faults = case
     ref_view = g.without(faults)
     fast_view = g.csr().without(faults)
@@ -88,8 +97,8 @@ def test_bfs_layers_bit_identical(case):
 
 
 @given(graphs_with_faults(max_faults=1))
-@settings(max_examples=60, **COMMON)
-def test_dijkstra_bit_identical_under_unique_weights(case):
+@settings(max_examples=60, **BACKEND_COMMON)
+def test_dijkstra_bit_identical_under_unique_weights(backend, case):
     """Distances always agree; parents too, given unique shortest paths."""
     g, faults = case
     atw = AntisymmetricWeights.random(g, f=1, seed=11)

@@ -44,6 +44,15 @@ COMMON = dict(
     suppress_health_check=[HealthCheck.too_slow],
 )
 
+# Suites taking the `backend` fixture (pinning the kernel-backend seam)
+# also suppress the function-scoped-fixture health check: the pin is
+# idempotent across hypothesis examples.
+BACKEND_COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow,
+                           HealthCheck.function_scoped_fixture],
+)
+
 
 @st.composite
 def delta_cases(draw, min_n=2, max_n=16, max_faults=4):
@@ -69,8 +78,8 @@ def delta_cases(draw, min_n=2, max_n=16, max_faults=4):
 
 class TestRepairKernels:
     @given(delta_cases())
-    @settings(max_examples=150, **COMMON)
-    def test_bfs_repair_bit_identical(self, case):
+    @settings(max_examples=150, **BACKEND_COMMON)
+    def test_bfs_repair_bit_identical(self, backend, case):
         g, faults, s = case
         engine = ScenarioEngine(g)
         index = engine.base_tree_index(s)
@@ -86,8 +95,8 @@ class TestRepairKernels:
         assert set(changed) <= set(orphans)
 
     @given(delta_cases())
-    @settings(max_examples=80, **COMMON)
-    def test_dijkstra_repair_bit_identical(self, case):
+    @settings(max_examples=80, **BACKEND_COMMON)
+    def test_dijkstra_repair_bit_identical(self, backend, case):
         g, faults, s = case
         rng = random.Random(13)
         wg = WeightedGraph(g.n)
@@ -105,8 +114,8 @@ class TestRepairKernels:
         )
 
     @given(delta_cases())
-    @settings(max_examples=60, **COMMON)
-    def test_dijkstra_repair_antisymmetric(self, case):
+    @settings(max_examples=60, **BACKEND_COMMON)
+    def test_dijkstra_repair_antisymmetric(self, backend, case):
         """Seed arcs are read in the intact->orphan direction, so the
         tiebreaking perturbations (w(u, v) != w(v, u)) repair exactly."""
         g, faults, s = case

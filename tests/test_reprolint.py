@@ -290,6 +290,80 @@ def test_hot_rules_do_not_fire_outside_the_registry():
     assert lint_source(bad, "repro.analysis.report") == []
 
 
+# ---------------------------------------------------------------------------
+# The vectorized kernel class: ndarray kernels get a relaxed hygiene
+# profile (allocation rules off, KH101 narrowed to module-global bases).
+# ---------------------------------------------------------------------------
+VEC = "repro.backends.vectorized"
+
+VEC_BAD_GLOBAL_ATTR = """
+import numpy as np
+
+def csr_scan(dist, frontiers):
+    for heads, cand in frontiers:
+        np.minimum.at(dist, heads, cand)
+    return dist
+"""
+
+VEC_GOOD_HOISTED_ATTR = """
+import numpy as np
+
+def csr_scan(dist, frontiers):
+    minimum_at = np.minimum.at
+    for heads, cand in frontiers:
+        minimum_at(dist, heads, cand)
+    return dist
+"""
+
+VEC_ARRAY_TEMPORARIES = """
+def csr_scan(frontier, indices, mask):
+    out = []
+    while frontier.size:
+        rows = [v for v in frontier if mask[v]]
+        out = out + [rows]
+        frontier = indices[frontier]
+        if frontier.size in [0, 1]:
+            break
+    return out
+"""
+
+VEC_BAD_GLOBAL_NAME = """
+LIMIT = 64
+
+def csr_scan(frontier, indices):
+    total = 0
+    while frontier.size:
+        total += LIMIT
+        frontier = indices[frontier]
+    return total
+"""
+
+
+def test_vectorized_flags_unhoisted_module_global_attribute():
+    assert "KH101" in active_ids(lint_source(VEC_BAD_GLOBAL_ATTR, VEC))
+
+
+def test_vectorized_hoisted_attribute_is_clean():
+    assert lint_source(VEC_GOOD_HOISTED_ATTR, VEC) == []
+
+
+def test_vectorized_allows_array_temporaries_and_local_attrs():
+    # KH103/KH104/KH106 are off for ndarray kernels, and the
+    # `frontier.size` loads (local base) do not trip KH101.
+    assert lint_source(VEC_ARRAY_TEMPORARIES, VEC) == []
+
+
+def test_vectorized_still_flags_unhoisted_globals():
+    assert "KH102" in active_ids(lint_source(VEC_BAD_GLOBAL_NAME, VEC))
+
+
+def test_loops_profile_flags_what_vectorized_allows():
+    # The same source under the strict loops registry trips the
+    # allocation rules the vectorized class waives.
+    ids = active_ids(lint_source(VEC_ARRAY_TEMPORARIES, HOT))
+    assert {"KH103", "KH104", "KH106"} <= ids
+
+
 def test_findings_carry_location_and_sort():
     module, bad, _ = FIXTURES["CA301"]
     findings = lint_source(bad, module, path="fake.py")

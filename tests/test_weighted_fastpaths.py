@@ -204,6 +204,9 @@ class TestScenarioMemo:
             "vector_hits": 0, "vector_misses": 0, "vector_evictions": 0,
             "delta_hits": 0, "delta_fallbacks": 0,
             "size": 0, "maxsize": 0,
+            # pair_replacement_distance runs single-source kernels, so
+            # no batched wave (and no backend tally) ever fires here
+            "wave_backends": (),
         }
 
 
