@@ -65,6 +65,11 @@ def emit_json(name: str, payload: Dict) -> pathlib.Path:
         # bench's params shape (None = the bench didn't say).
         "quick": (params.get("quick")
                   if isinstance(params, dict) else None),
+        # Fleet benches record their worker count so the trajectory
+        # can separate scaling runs from single-process baselines
+        # (None = not a fleet bench / the bench didn't say).
+        "workers": (params.get("workers")
+                    if isinstance(params, dict) else None),
     })
     return path
 

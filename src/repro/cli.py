@@ -161,7 +161,13 @@ def cmd_query(args) -> int:
     from repro.scenarios import random_fault_sets
 
     graph = _load_graph(args)
-    session = Session(graph)
+    workers = getattr(args, "workers", 0)
+    if workers > 0:
+        from repro.fleet import FleetSession
+
+        session = FleetSession(graph, workers=workers)
+    else:
+        session = Session(graph)
     rng = random.Random(args.seed)
     vertices = sorted(graph.vertices())
     pairs = [
@@ -180,15 +186,25 @@ def cmd_query(args) -> int:
             ConnectivityQuery(faults),
         )
     print(f"graph: n={graph.n}, m={graph.m}")
+    if workers > 0:
+        print(f"fleet: {workers} workers, sharded by fault set")
     print(f"query stream: {session.pending} queries "
           f"({len(scenarios)} fault sets x {len(pairs)} monitored pairs "
           f"+ vector/eccentricity/connectivity probes)")
     answers = session.gather()
+    # Fault-free base distances through the same session surface, so
+    # the degraded-pair count works for local and fleet sessions alike
+    # (a fleet hides its engines behind the worker boundary).
+    base = {
+        a.query.source: a.value
+        for a in session.answer(
+            VectorQuery(s) for s in sorted({s for s, _ in pairs})
+        )
+    }
     degraded = sum(
         1 for a in answers
         if isinstance(a.query, DistanceQuery)
-        and a.value != session.engine.base_distances(a.query.source)[
-            a.query.target]
+        and a.value != base[a.query.source][a.query.target]
     )
     cut = sum(
         1 for a in answers
@@ -204,6 +220,13 @@ def cmd_query(args) -> int:
     print(f"engine LRU: {info.size} entries, pair memo "
           f"{info.hits}h/{info.misses}m, vector cache "
           f"{info.vector_hits}h/{info.vector_misses}m")
+    if workers > 0:
+        shares = ", ".join(
+            f"{name}={count}" for name, count in
+            sorted(st.by_worker.items())
+        )
+        print(f"worker shares: {shares}")
+        session.close()
     print(f"session: {session!r}")
     return 0
 
@@ -251,6 +274,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="random fault sets (default: 10)")
     query.add_argument("--faults", type=int, default=1,
                        help="faults per scenario (default: 1)")
+    query.add_argument("--workers", type=int, default=0,
+                       help="shard the stream across N fleet worker "
+                            "processes (default: 0 = in-process)")
     query.set_defaults(fn=cmd_query)
 
     return parser

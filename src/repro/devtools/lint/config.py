@@ -43,6 +43,11 @@ LAYERS: Tuple[Tuple[str, ...], ...] = (
     ("incremental",),
     ("scenarios",),
     ("query",),
+    # The engine fleet shards ``query.Session`` streams across worker
+    # processes — it builds sessions, so it sits strictly above
+    # ``query`` and below the domain packages (which may one day adopt
+    # a fleet the way they adopt a session).
+    ("fleet",),
     ("weighted", "oracles", "preservers", "replacement",
      "spanners", "labeling", "distributed"),
     # Top of the DAG: entry points and tooling may import anything.

@@ -23,6 +23,9 @@ subclasses partition errors by subsystem:
 * :class:`BackendError` — the kernel-backend seam was misconfigured
   (an unknown backend name, or the vectorized backend requested while
   numpy is absent); raised by :mod:`repro.backends`.
+* :class:`FleetError` — the engine fleet (:mod:`repro.fleet`) was
+  misconfigured or lost a worker it could not replace (unknown
+  tenant, no live workers, a reply that does not match its request).
 """
 
 from __future__ import annotations
@@ -81,6 +84,18 @@ class QueryError(ReproError):
     (mixed weighted/unweighted queries, an unknown vertex, a
     restoration query without a scheme) never silently gets served by
     the wrong kernel.
+    """
+
+
+class FleetError(ReproError):
+    """The engine fleet (:mod:`repro.fleet`) hit an unservable state.
+
+    Raised for configuration errors (unknown tenant, zero workers, a
+    per-call scheme handed to a fleet that shards across processes)
+    and for protocol violations (a worker reply that does not answer
+    the request sent).  Worker *failures* are not fleet errors: a dead
+    worker is respawned, and if that fails its shard is served by the
+    in-process serial fallback — degradation is counted, not raised.
     """
 
 

@@ -1,0 +1,47 @@
+"""The engine fleet: multi-process scenario execution with
+capacity-accounted routing.
+
+One in-process :class:`~repro.query.session.Session` is bounded by
+one LRU budget and one interpreter.  The fleet layer pools both: a
+:class:`~repro.fleet.session.FleetSession` shards query streams over
+a registry of persistent worker processes, each holding warm
+per-tenant engines, so the deployment's effective cache is the *sum*
+of the workers' budgets and shards execute concurrently.  The moving
+parts, bottom up:
+
+* :mod:`repro.fleet.protocol` — the pickle-clean message vocabulary
+  (spawn-safe by contract);
+* :mod:`repro.fleet.worker` — the child-process loop, one warm
+  session per tenant;
+* :mod:`repro.fleet.registry` — worker lifecycle, capacity
+  accounting with an over-commit ratio, respawn and in-process
+  serial fallback;
+* :mod:`repro.fleet.router` — cache-affine sharding (by canonical
+  fault set, or by source range for vector-heavy streams);
+* :mod:`repro.fleet.session` — the ``Session``-shaped facade with
+  merged :class:`~repro.scenarios.engine.CacheInfo` /
+  :class:`~repro.query.session.SessionStats` reports.
+
+Import from here::
+
+    from repro.fleet import FleetSession
+
+The root :mod:`repro` package deliberately does not re-export the
+fleet: importing it pulls in :mod:`multiprocessing`, which consumers
+of the plain in-process API never need.
+"""
+
+from repro.fleet.protocol import CapacityReport, TenantSpec
+from repro.fleet.registry import WorkerCapacity, WorkerRegistry
+from repro.fleet.router import Router, fault_hash
+from repro.fleet.session import FleetSession
+
+__all__ = [
+    "CapacityReport",
+    "FleetSession",
+    "Router",
+    "TenantSpec",
+    "WorkerCapacity",
+    "WorkerRegistry",
+    "fault_hash",
+]

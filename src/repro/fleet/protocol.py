@@ -1,0 +1,229 @@
+"""The fleet wire protocol: pickle-clean messages, nothing else.
+
+Everything that crosses a worker boundary is a frozen dataclass
+defined here, built only from values that round-trip through
+:mod:`pickle` under the ``spawn`` start method — plain containers,
+typed queries/answers (:mod:`repro.query.queries`), graphs, and the
+frozen :class:`~repro.scenarios.engine.CacheInfo` /
+:class:`~repro.query.session.SessionStats` reports.  That contract is
+what lets the same protocol serve processes today and machines by a
+serialised transport later (the seam named in ROADMAP item 2), and it
+is pinned by the spawn-safety suite in ``tests/test_fleet.py``.
+
+One request, one reply, in order: a worker serves messages strictly
+sequentially, so the parent-side registry can account for in-flight
+work per worker without a correlation id.  Worker-side failures never
+tear the channel — they come back as an :class:`ErrorReply` carrying
+the exception type name and traceback text (exception *objects* are
+not reliably picklable), and :func:`raise_reply` re-raises the
+closest :mod:`repro.exceptions` type on the parent side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from repro.exceptions import FleetError
+
+__all__ = [
+    "WORD_BYTES",
+    "TenantSpec",
+    "CapacityReport",
+    "Request",
+    "InitRequest",
+    "ExecuteRequest",
+    "JobRequest",
+    "ReportRequest",
+    "PingRequest",
+    "ShutdownRequest",
+    "Reply",
+    "ReadyReply",
+    "ExecuteReply",
+    "JobReply",
+    "ReportReply",
+    "PongReply",
+    "ErrorReply",
+    "raise_reply",
+    "request_weight",
+]
+
+#: Accounting width of one cached distance cell.  Capacity numbers are
+#: an *accounting currency* (comparable across workers, monotone in
+#: real footprint), not an RSS measurement: a cached vector of a
+#: ``n``-vertex tenant is booked as ``n * WORD_BYTES``.
+WORD_BYTES = 8
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Everything a worker needs to host one tenant graph.
+
+    ``memoize`` is the tenant's *eviction budget*: each worker builds
+    the tenant's engine with this LRU capacity, so a noisy tenant can
+    evict only its own entries, never a neighbour's.  ``warm_sources``
+    are base-vector origins the worker computes once at init (before
+    any query arrives), the warm-start idiom for monitored sources.
+    ``scheme`` rides along for restoration queries and must itself be
+    picklable (schemes over the tenant graph are).
+    """
+
+    name: str
+    graph: Any
+    memoize: int = 4096
+    delta: bool = True
+    scheme: Any = None
+    warm_sources: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class CapacityReport:
+    """A worker's capacity self-report — the pod-accounting payload.
+
+    ``total_bytes`` is what the worker's caches may grow to (the sum
+    of per-tenant LRU budgets priced at one vector per entry),
+    ``used_bytes`` what they currently hold, and ``wave_bytes`` the
+    booked cost of one in-flight wave (the largest tenant's vector
+    footprint) — the parent adds ``in_flight * wave_bytes`` on top of
+    ``used_bytes`` when deciding whether the worker has room, since
+    dispatched-but-uncollected work will land in the caches it has
+    not reported yet.
+    """
+
+    worker: str
+    total_bytes: int
+    used_bytes: int
+    wave_bytes: int
+    tenants: Tuple[Tuple[str, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class Request:
+    """Base marker for parent → worker messages."""
+
+
+@dataclass(frozen=True)
+class InitRequest(Request):
+    """First message on a fresh channel: build the tenant sessions.
+
+    Sent over the connection rather than passed as process arguments,
+    so the tenant payload crosses the pickle seam under *every* start
+    method — ``fork`` included — and a spec that would not survive
+    ``spawn`` fails loudly everywhere.
+    """
+
+    tenants: Tuple[TenantSpec, ...]
+
+
+@dataclass(frozen=True)
+class ExecuteRequest(Request):
+    """Answer a shard of typed queries for one tenant."""
+
+    tenant: str
+    queries: Tuple[Any, ...]
+    scheme: Any = None
+
+
+@dataclass(frozen=True)
+class JobRequest(Request):
+    """Run a session facade method outside the query algebra
+    (``preserver_violations``, ``midpoint_scan``) on one tenant."""
+
+    tenant: str
+    method: str
+    args: Tuple[Any, ...] = ()
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+
+@dataclass(frozen=True)
+class ReportRequest(Request):
+    """Ask for capacity + per-tenant cache/stats snapshots."""
+
+
+@dataclass(frozen=True)
+class PingRequest(Request):
+    """Health probe."""
+
+
+@dataclass(frozen=True)
+class ShutdownRequest(Request):
+    """Orderly exit; the worker replies once, then leaves its loop."""
+
+
+@dataclass(frozen=True)
+class Reply:
+    """Base of worker → parent messages; every reply names its worker."""
+
+    worker: str
+
+
+@dataclass(frozen=True)
+class ReadyReply(Reply):
+    tenants: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ExecuteReply(Reply):
+    answers: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class JobReply(Reply):
+    value: Any
+
+
+@dataclass(frozen=True)
+class ReportReply(Reply):
+    capacity: CapacityReport
+    cache_infos: Tuple[Tuple[str, Any], ...]
+    stats: Tuple[Tuple[str, Any], ...]
+
+
+@dataclass(frozen=True)
+class PongReply(Reply):
+    """Answer to :class:`PingRequest` and :class:`ShutdownRequest`."""
+
+
+@dataclass(frozen=True)
+class ErrorReply(Reply):
+    """A worker-side exception, flattened to picklable text."""
+
+    exc_type: str
+    message: str
+    traceback: str = ""
+
+
+def raise_reply(reply: Reply) -> Reply:
+    """Pass a normal reply through; re-raise an :class:`ErrorReply`.
+
+    The worker-side exception type is resolved by name against
+    :mod:`repro.exceptions`, so a :class:`~repro.exceptions.QueryError`
+    raised by a worker's planner surfaces as a ``QueryError`` on the
+    parent side (the validation contract callers already handle);
+    anything unresolvable becomes a :class:`FleetError` carrying the
+    original type name and traceback text.
+    """
+    if not isinstance(reply, ErrorReply):
+        return reply
+    import repro.exceptions as _exc
+
+    exc_class = getattr(_exc, reply.exc_type, None)
+    if isinstance(exc_class, type) and issubclass(exc_class,
+                                                  _exc.ReproError):
+        raise exc_class(reply.message)
+    raise FleetError(
+        f"worker {reply.worker} failed with {reply.exc_type}: "
+        f"{reply.message}\n{reply.traceback}"
+    )
+
+
+def request_weight(request: Request) -> int:
+    """How much in-flight work a request books against its worker.
+
+    Queries count individually (an :class:`ExecuteRequest` of 500
+    queries occupies more of a worker than a ping); control messages
+    count one.
+    """
+    if isinstance(request, ExecuteRequest):
+        return max(1, len(request.queries))
+    return 1

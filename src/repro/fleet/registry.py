@@ -1,0 +1,434 @@
+"""Worker lifecycle and capacity accounting for the engine fleet.
+
+The :class:`WorkerRegistry` owns a set of persistent worker processes
+(:mod:`repro.fleet.worker`) and is the only module that touches
+:mod:`multiprocessing` directly.  It does three jobs:
+
+* **lifecycle** — lazy start, health probes, orderly shutdown, and
+  respawn of workers that die mid-request;
+* **capacity accounting** — each worker's self-reported LRU footprint
+  plus the parent-side in-flight book, combined under an over-commit
+  ratio into a :class:`WorkerCapacity` the router can filter on (the
+  pod idiom: advertised capacity may exceed physical capacity by a
+  configured factor, because tenants rarely peak together);
+* **degradation** — when a respawned worker fails again (or a request
+  cannot cross the pickle seam at all), the shard is served by an
+  in-process serial fallback running the *same*
+  :func:`~repro.fleet.worker.serve_request` dispatch, so callers see
+  identical answers, just slower.  Degradation is counted
+  (:attr:`WorkerRegistry.respawns`,
+  :attr:`WorkerRegistry.serial_fallbacks`) and warned about, never
+  raised — mirroring the serial-fallback contract of
+  :meth:`~repro.scenarios.engine.ScenarioEngine.run`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import warnings
+from dataclasses import dataclass
+from multiprocessing.connection import Connection
+from multiprocessing.process import BaseProcess
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import FleetError
+from repro.fleet.protocol import (
+    CapacityReport,
+    InitRequest,
+    PingRequest,
+    PongReply,
+    ReadyReply,
+    Reply,
+    ReportReply,
+    ReportRequest,
+    Request,
+    ShutdownRequest,
+    TenantSpec,
+    raise_reply,
+    request_weight,
+)
+from repro.fleet.worker import build_sessions, serve_request, worker_main
+from repro.query.session import Session
+
+__all__ = ["WorkerCapacity", "WorkerRegistry"]
+
+#: Exceptions that mean "this message cannot cross the pickle seam" —
+#: respawning will not help, the shard goes straight to the serial
+#: fallback.
+_PICKLE_ERRORS = (pickle.PicklingError, TypeError, AttributeError)
+
+#: Exceptions that mean "the channel to this worker is gone" — the
+#: worker is respawned and the request retried once.
+_CHANNEL_ERRORS = (EOFError, BrokenPipeError, ConnectionError, OSError)
+
+
+@dataclass(frozen=True)
+class WorkerCapacity:
+    """One worker's room, as the router sees it.
+
+    ``total_bytes`` / ``used_bytes`` / ``wave_bytes`` come from the
+    worker's last :class:`~repro.fleet.protocol.CapacityReport`;
+    ``in_flight`` is the parent-side book of dispatched-but-uncollected
+    work.  ``over_commit`` scales the advertised total: with 1.5, a
+    worker whose caches could grow to 1 MiB advertises 1.5 MiB, the
+    bet being that co-located tenants do not peak together.  A worker
+    that has never reported (``total_bytes == 0``) is treated as
+    having room — a fresh worker's caches are empty by construction.
+    """
+
+    worker: str
+    total_bytes: int
+    used_bytes: int
+    wave_bytes: int
+    in_flight: int
+    over_commit: float
+
+    @property
+    def committed_bytes(self) -> int:
+        """The advertised ceiling: ``total_bytes * over_commit``."""
+        return int(self.total_bytes * self.over_commit)
+
+    @property
+    def booked_bytes(self) -> int:
+        """Reported usage plus the booked cost of in-flight work."""
+        return self.used_bytes + self.in_flight * self.wave_bytes
+
+    @property
+    def available_bytes(self) -> int:
+        return max(0, self.committed_bytes - self.booked_bytes)
+
+    @property
+    def has_room(self) -> bool:
+        return self.total_bytes == 0 or self.available_bytes > 0
+
+
+class _WorkerHandle:
+    """Parent-side state for one worker process (internal)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.process: Optional[BaseProcess] = None
+        self.conn: Optional[Connection] = None
+        self.in_flight = 0
+        self.report: Optional[CapacityReport] = None
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+class WorkerRegistry:
+    """Owns the fleet's worker processes and their capacity book.
+
+    Parameters
+    ----------
+    tenants:
+        The :class:`~repro.fleet.protocol.TenantSpec` set every worker
+        hosts.  Every worker hosts *all* tenants (full replication):
+        routing then only has to pick a worker, never match tenant to
+        worker, and any worker can absorb any shard when a peer dies.
+    workers:
+        Fleet size (>= 1).  Worker names are ``"w0" .. "w{N-1}"``.
+    over_commit:
+        Capacity over-commit ratio (see :class:`WorkerCapacity`).
+    start_method:
+        ``multiprocessing`` start method (``None`` = platform
+        default).  ``"spawn"`` exercises the full pickle seam; the
+        protocol is spawn-safe by contract either way.
+    """
+
+    def __init__(self, tenants: Sequence[TenantSpec], *,
+                 workers: int = 2, over_commit: float = 1.0,
+                 start_method: Optional[str] = None) -> None:
+        if workers < 1:
+            raise FleetError(f"a fleet needs at least one worker, "
+                             f"got workers={workers}")
+        if not tenants:
+            raise FleetError("a fleet needs at least one tenant")
+        names = [spec.name for spec in tenants]
+        if len(set(names)) != len(names):
+            raise FleetError(f"duplicate tenant names: {sorted(names)}")
+        if over_commit <= 0:
+            raise FleetError(f"over_commit must be positive, "
+                             f"got {over_commit}")
+        self.tenants: Tuple[TenantSpec, ...] = tuple(tenants)
+        self.over_commit = over_commit
+        self._ctx = multiprocessing.get_context(start_method)
+        self._handles: Dict[str, _WorkerHandle] = {
+            f"w{i}": _WorkerHandle(f"w{i}") for i in range(workers)
+        }
+        self._serial_sessions: Optional[Dict[str, Session]] = None
+        self._started = False
+        self._closed = False
+        self.respawns = 0
+        self.serial_fallbacks = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> Tuple[str, ...]:
+        """Worker names, in routing order."""
+        return tuple(self._handles)
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    def start(self) -> None:
+        """Start (once) every worker and wait for their ready replies.
+
+        Init messages go out to all workers before any reply is
+        awaited, so graph construction and warm-start traversals run
+        in the workers concurrently.
+        """
+        if self._started:
+            return
+        if self._closed:
+            raise FleetError("registry is closed")
+        init = InitRequest(tenants=self.tenants)
+        for handle in self._handles.values():
+            self._launch(handle, init)
+        for handle in self._handles.values():
+            self._confirm_ready(handle)
+        self._started = True
+
+    def _launch(self, handle: _WorkerHandle, init: InitRequest) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=worker_main, args=(handle.name, child_conn),
+            name=f"repro-fleet-{handle.name}", daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle.process = process
+        handle.conn = parent_conn
+        handle.report = None
+        parent_conn.send(init)
+
+    def _confirm_ready(self, handle: _WorkerHandle) -> None:
+        assert handle.conn is not None
+        try:
+            raw = handle.conn.recv()
+        except _CHANNEL_ERRORS as exc:
+            # A worker that cannot even init is a deployment problem
+            # (unimportable __main__ under spawn, unpicklable tenant
+            # graph, resource limits) — respawning would loop, so it
+            # raises instead of degrading.
+            raise FleetError(
+                f"worker {handle.name} died during init "
+                f"({type(exc).__name__}: {exc}); the fleet cannot "
+                f"start in this environment"
+            ) from exc
+        reply = raise_reply(raw)
+        if not isinstance(reply, ReadyReply):
+            raise FleetError(
+                f"worker {handle.name} answered init with {reply!r}"
+            )
+
+    def _respawn(self, handle: _WorkerHandle) -> None:
+        """Replace a dead worker's process (warm caches are lost)."""
+        self.respawns += 1
+        warnings.warn(
+            f"fleet worker {handle.name} died; respawning "
+            f"(warm caches lost)",
+            RuntimeWarning, stacklevel=4,
+        )
+        self._reap(handle)
+        self._launch(handle, InitRequest(tenants=self.tenants))
+        self._confirm_ready(handle)
+
+    def _reap(self, handle: _WorkerHandle) -> None:
+        if handle.conn is not None:
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            handle.conn = None
+        if handle.process is not None:
+            if handle.process.is_alive():
+                handle.process.terminate()
+            handle.process.join(timeout=5)
+            handle.process = None
+
+    def close(self) -> None:
+        """Orderly shutdown: ask nicely, then reap."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._handles.values():
+            if handle.conn is not None and handle.alive:
+                try:
+                    handle.conn.send(ShutdownRequest())
+                    if handle.conn.poll(1.0):
+                        handle.conn.recv()
+                except (*_CHANNEL_ERRORS, *_PICKLE_ERRORS):
+                    pass
+        for handle in self._handles.values():
+            self._reap(handle)
+
+    def __enter__(self) -> "WorkerRegistry":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:  # interpreter teardown — nothing to do
+            pass
+
+    # ------------------------------------------------------------------
+    # capacity accounting
+    # ------------------------------------------------------------------
+    def capacity(self, worker: str) -> WorkerCapacity:
+        """The named worker's current capacity view."""
+        handle = self._handle(worker)
+        report = handle.report
+        return WorkerCapacity(
+            worker=worker,
+            total_bytes=report.total_bytes if report else 0,
+            used_bytes=report.used_bytes if report else 0,
+            wave_bytes=report.wave_bytes if report else 0,
+            in_flight=handle.in_flight,
+            over_commit=self.over_commit,
+        )
+
+    def capacities(self) -> Dict[str, WorkerCapacity]:
+        return {name: self.capacity(name) for name in self._handles}
+
+    def routing_candidates(self) -> List[str]:
+        """Workers with room, for the router to shard over.
+
+        When *every* worker is full, all of them are eligible — a
+        saturated fleet degrades to even spreading rather than
+        refusing work (there is no better worker to route around to).
+        """
+        eligible = [name for name in self._handles
+                    if self.capacity(name).has_room]
+        return eligible if eligible else list(self._handles)
+
+    def reports(self) -> Dict[str, ReportReply]:
+        """Fresh capacity + cache/stats snapshots from every worker.
+
+        Also folds each report into the registry's capacity book, so
+        subsequent :meth:`routing_candidates` calls see it.
+        """
+        replies = self.dispatch(
+            {name: ReportRequest() for name in self._handles}
+        )
+        reports: Dict[str, ReportReply] = {}
+        for name, reply in replies.items():
+            checked = raise_reply(reply)
+            if not isinstance(checked, ReportReply):
+                raise FleetError(
+                    f"worker {name} answered report with {checked!r}"
+                )
+            self._handle(name).report = checked.capacity
+            reports[name] = checked
+        return reports
+
+    def ping(self) -> Dict[str, bool]:
+        """Health probe: which workers answer a ping right now."""
+        self.start()
+        health: Dict[str, bool] = {}
+        for name, handle in self._handles.items():
+            if handle.conn is None or not handle.alive:
+                health[name] = False
+                continue
+            try:
+                handle.conn.send(PingRequest())
+                health[name] = (handle.conn.poll(5.0)
+                                and isinstance(handle.conn.recv(),
+                                               PongReply))
+            except (*_CHANNEL_ERRORS, *_PICKLE_ERRORS):
+                health[name] = False
+        return health
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, assignments: Mapping[str, Request]
+                 ) -> Dict[str, Reply]:
+        """Send every assignment, then collect every reply.
+
+        The send-all-then-recv-all shape is the fleet's concurrency:
+        all workers crunch their shards simultaneously while the
+        parent blocks on the first reply.  A worker that dies (or a
+        message that cannot be pickled) is recovered per
+        :meth:`_recover` — callers always get one reply per
+        assignment, possibly an
+        :class:`~repro.fleet.protocol.ErrorReply`.
+        """
+        self.start()
+        in_error: Dict[str, BaseException] = {}
+        order: List[Tuple[str, Request]] = []
+        for name, request in assignments.items():
+            handle = self._handle(name)
+            handle.in_flight += request_weight(request)
+            order.append((name, request))
+            if handle.conn is None:
+                in_error[name] = EOFError("worker channel closed")
+                continue
+            try:
+                handle.conn.send(request)
+            except (*_CHANNEL_ERRORS, *_PICKLE_ERRORS) as exc:
+                in_error[name] = exc
+        replies: Dict[str, Reply] = {}
+        for name, request in order:
+            handle = self._handle(name)
+            failure = in_error.get(name)
+            reply: Optional[Reply] = None
+            if failure is None:
+                assert handle.conn is not None
+                try:
+                    reply = handle.conn.recv()
+                except _CHANNEL_ERRORS as exc:
+                    failure = exc
+            handle.in_flight -= request_weight(request)
+            if reply is None:
+                assert failure is not None
+                reply = self._recover(handle, request, failure)
+            replies[name] = reply
+        return replies
+
+    def _recover(self, handle: _WorkerHandle, request: Request,
+                 failure: BaseException) -> Reply:
+        """A request failed in transit: respawn and retry, else serve
+        serially in-process.
+
+        Pickle failures skip the respawn (a fresh process cannot make
+        an unpicklable message picklable) and go straight to the
+        serial fallback.
+        """
+        if not isinstance(failure, _PICKLE_ERRORS):
+            try:
+                self._respawn(handle)
+                assert handle.conn is not None
+                handle.conn.send(request)
+                return handle.conn.recv()  # type: ignore[no-any-return]
+            except (*_CHANNEL_ERRORS, *_PICKLE_ERRORS):
+                pass
+        self.serial_fallbacks += 1
+        warnings.warn(
+            f"fleet worker {handle.name} unrecoverable "
+            f"({type(failure).__name__}: {failure}); serving its "
+            f"shard with the in-process serial fallback",
+            RuntimeWarning, stacklevel=4,
+        )
+        return serve_request("serial", self._serial(), request)
+
+    def _serial(self) -> Dict[str, Session]:
+        """The lazily built in-process fallback sessions."""
+        if self._serial_sessions is None:
+            self._serial_sessions = build_sessions(self.tenants)
+        return self._serial_sessions
+
+    def _handle(self, worker: str) -> _WorkerHandle:
+        try:
+            return self._handles[worker]
+        except KeyError:
+            raise FleetError(f"unknown worker {worker!r}; fleet has "
+                             f"{sorted(self._handles)}") from None

@@ -1,0 +1,103 @@
+"""Shard a query stream across fleet workers, cache-affinely.
+
+Routing decides how much of the engine's wave sharing survives
+sharding, so the policies are built around the planner's grouping
+key:
+
+* ``"faults"`` — shard by a stable hash of each query's canonical
+  fault set.  Every query of one scenario lands on one worker, so the
+  planner's per-group wave sharing (one wave serves many targets, one
+  vector answers connectivity for free) is preserved *and* repeated
+  scenarios always rendezvous with their cached vectors — the
+  affinity that makes the fleet's aggregate LRU behave like one big
+  cache instead of ``N`` small ones.
+* ``"source"`` — shard by contiguous source range.  For vector-heavy
+  streams (many sources under few fault sets) fault-hashing would
+  idle most of the fleet; per-source waves are independent work, so
+  splitting the source range splits the work evenly at no sharing
+  cost.
+* ``"auto"`` — pick per batch: ``"source"`` when the batch has fewer
+  distinct fault sets than there are eligible workers and every query
+  carries a source, else ``"faults"``.
+
+Hashing is :func:`zlib.crc32` over the canonical fault tuple's
+``repr`` — stable across processes and interpreter runs (unlike
+``hash()``, which is salted for strings), so a scenario routes to the
+same worker in every session of every run.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.exceptions import FleetError
+from repro.query.queries import Query
+
+__all__ = ["Router", "fault_hash"]
+
+_POLICIES = ("auto", "faults", "source")
+
+
+def fault_hash(fault_key: Tuple[Any, ...]) -> int:
+    """A process-stable hash of a canonical fault tuple."""
+    return zlib.crc32(repr(fault_key).encode("utf-8"))
+
+
+class Router:
+    """Assign each query of a batch to one of the eligible workers.
+
+    The router is pure parent-side policy: it never talks to a
+    worker, it only maps ``(query, eligible workers)`` to a worker
+    name.  Capacity enters through the ``eligible`` list — the
+    registry hands over only workers with room, so routing around
+    full workers falls out of the same modulus.
+    """
+
+    def __init__(self, policy: str = "auto", *,
+                 n: int = 0) -> None:
+        if policy not in _POLICIES:
+            raise FleetError(
+                f"unknown routing policy {policy!r}; "
+                f"pick one of {_POLICIES}"
+            )
+        self.policy = policy
+        #: Vertex count of the routed graph — the denominator of the
+        #: ``"source"`` range partition.
+        self.n = n
+
+    def resolve(self, queries: Sequence[Query],
+                eligible: Sequence[str]) -> str:
+        """The concrete policy used for this batch."""
+        if self.policy != "auto":
+            return self.policy
+        sourced = [getattr(q, "source", None) for q in queries]
+        if any(s is None for s in sourced) or not queries:
+            return "faults"
+        distinct_faults = len({q.fault_key for q in queries})
+        if distinct_faults < len(eligible) and self.n > 0:
+            return "source"
+        return "faults"
+
+    def shard(self, queries: Sequence[Query],
+              eligible: Sequence[str]) -> Dict[str, List[int]]:
+        """Partition ``queries`` (by index) over ``eligible`` workers.
+
+        Returns only non-empty shards, keyed by worker name, each a
+        list of indices into ``queries`` in original order — the
+        caller reassembles answers into submission order from these
+        indices.
+        """
+        if not eligible:
+            raise FleetError("cannot shard over zero eligible workers")
+        policy = self.resolve(queries, eligible)
+        width = len(eligible)
+        shards: Dict[str, List[int]] = {}
+        for index, query in enumerate(queries):
+            source = getattr(query, "source", None)
+            if policy == "source" and source is not None and self.n > 0:
+                slot = min(width - 1, source * width // self.n)
+            else:
+                slot = fault_hash(query.fault_key) % width
+            shards.setdefault(eligible[slot], []).append(index)
+        return shards

@@ -1,0 +1,461 @@
+""":class:`FleetSession` — the :class:`~repro.query.session.Session`
+surface, served by a sharded fleet of engine workers.
+
+A fleet session speaks the exact submit/gather/answer/answer_async
+dialect of the in-process session, but behind the facade each batch
+is sharded by the :class:`~repro.fleet.router.Router` over the
+capacity-eligible workers of a :class:`~repro.fleet.registry.WorkerRegistry`
+and executed in parallel processes, each holding warm per-tenant
+engines.  Reports merge: :meth:`cache_info` folds every worker's
+:class:`~repro.scenarios.engine.CacheInfo` with
+:meth:`~repro.scenarios.engine.CacheInfo.merge`, and :attr:`stats`
+folds per-worker :class:`~repro.query.session.SessionStats` with
+:meth:`~repro.query.session.SessionStats.merge` — so the fleet reads
+like one big session whose cache is the sum of its workers' budgets.
+
+Multi-tenancy: pass ``graphs={"name": graph, ...}`` (optionally with
+per-tenant ``budgets``) instead of a single ``graph``; every worker
+hosts every tenant with its own eviction budget, and ``tenant=``
+selects whose stream a call answers (default: the sole tenant, or
+``"default"``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import threading
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.exceptions import FleetError, QueryError
+from repro.fleet.protocol import (
+    ErrorReply,
+    ExecuteReply,
+    ExecuteRequest,
+    JobReply,
+    JobRequest,
+    Reply,
+    ReportReply,
+    TenantSpec,
+    raise_reply,
+)
+from repro.fleet.registry import WorkerCapacity, WorkerRegistry
+from repro.fleet.router import Router
+from repro.query.queries import Answer, Query
+from repro.query.session import SessionStats
+from repro.scenarios.engine import CacheInfo
+
+__all__ = ["FleetSession"]
+
+_DEFAULT_TENANT = "default"
+
+
+class FleetSession:
+    """Shard typed query streams across persistent engine workers.
+
+    Parameters
+    ----------
+    graph:
+        Single-tenant convenience: the base graph, hosted under the
+        tenant name ``"default"``.  Mutually exclusive with ``graphs``.
+    graphs:
+        Multi-tenant form: ``{tenant_name: graph}``.
+    budgets:
+        Per-tenant LRU budget overrides, ``{tenant_name: entries}``;
+        tenants not listed get ``memoize``.
+    workers:
+        Fleet size (>= 1); ``workers=1`` is a valid degenerate fleet
+        (one warm process, no sharding) useful for A/B runs.
+    scheme:
+        Default tiebreaking scheme, applied to every tenant
+        (single-tenant form only — multi-tenant fleets set schemes
+        per tenant via restoration-free streams or per-call
+        ``scheme=``, which is pickled and shipped with the shard).
+    memoize, delta:
+        Engine construction knobs, per worker per tenant (see
+        :class:`~repro.scenarios.engine.ScenarioEngine`).
+    over_commit:
+        Capacity over-commit ratio (see
+        :class:`~repro.fleet.registry.WorkerCapacity`).
+    policy:
+        Routing policy — ``"auto"``, ``"faults"`` or ``"source"``
+        (see :class:`~repro.fleet.router.Router`).
+    start_method:
+        ``multiprocessing`` start method for the workers (``None`` =
+        platform default, ``"spawn"`` exercises the full pickle seam).
+    warm_sources:
+        Base-vector origins each worker computes at init: a sequence
+        (applied to every tenant) or ``{tenant_name: sequence}``.
+
+    Example
+    -------
+    >>> from repro.graphs import generators
+    >>> from repro.query import DistanceQuery
+    >>> from repro.fleet import FleetSession
+    >>> with FleetSession(generators.grid(4, 4), workers=2) as fleet:
+    ...     fleet.submit(DistanceQuery(0, 15, faults=[(0, 1)]))
+    ...     [a.value for a in fleet.gather()]
+    [6]
+    """
+
+    def __init__(self, graph: Any = None, *,
+                 graphs: Optional[Mapping[str, Any]] = None,
+                 budgets: Optional[Mapping[str, int]] = None,
+                 workers: int = 2,
+                 scheme: Any = None,
+                 memoize: int = 4096,
+                 delta: bool = True,
+                 over_commit: float = 1.0,
+                 policy: str = "auto",
+                 start_method: Optional[str] = None,
+                 warm_sources: Union[Sequence[int],
+                                     Mapping[str, Sequence[int]]] = ()
+                 ) -> None:
+        if (graph is None) == (graphs is None):
+            raise FleetError(
+                "FleetSession takes a graph or graphs={...}, "
+                "exactly one of the two"
+            )
+        if graphs is None:
+            graphs = {_DEFAULT_TENANT: graph}
+        budgets = dict(budgets or {})
+        unknown = set(budgets) - set(graphs)
+        if unknown:
+            raise FleetError(
+                f"budgets name tenants that have no graph: "
+                f"{sorted(unknown)}"
+            )
+        specs: List[TenantSpec] = []
+        self._routers: Dict[str, Router] = {}
+        self._graphs: Dict[str, Any] = dict(graphs)
+        for name, tenant_graph in graphs.items():
+            if isinstance(warm_sources, Mapping):
+                warm: Tuple[int, ...] = tuple(
+                    warm_sources.get(name, ()))
+            else:
+                warm = tuple(warm_sources)
+            specs.append(TenantSpec(
+                name=name, graph=tenant_graph,
+                memoize=budgets.get(name, memoize), delta=delta,
+                scheme=scheme, warm_sources=warm,
+            ))
+            self._routers[name] = Router(
+                policy, n=int(getattr(tenant_graph, "n", 0) or 0)
+            )
+        self.scheme = scheme
+        self.registry = WorkerRegistry(
+            specs, workers=workers, over_commit=over_commit,
+            start_method=start_method,
+        )
+        self._pending: List[Tuple[str, Query]] = []
+        self._gathers = 0
+        # Same serialization contract as Session: answer_async runs
+        # gathers in executor threads, and the registry's pipes and
+        # in-flight book are not thread-safe.
+        self._gather_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # the declarative surface
+    # ------------------------------------------------------------------
+    @property
+    def tenants(self) -> Tuple[str, ...]:
+        return tuple(self._graphs)
+
+    @property
+    def graph(self) -> Any:
+        """The sole tenant's graph (single-tenant convenience);
+        multi-tenant fleets raise — name the tenant via
+        :meth:`tenant_graph`."""
+        if len(self._graphs) != 1:
+            raise FleetError(
+                f"fleet hosts {len(self._graphs)} tenants "
+                f"({sorted(self._graphs)}); use tenant_graph(name)"
+            )
+        return next(iter(self._graphs.values()))
+
+    def tenant_graph(self, tenant: str) -> Any:
+        return self._graphs[self._tenant(tenant)]
+
+    @property
+    def pending(self) -> int:
+        """Queries submitted but not yet gathered (all tenants)."""
+        return len(self._pending)
+
+    def submit(self, *queries: Any,
+               tenant: Optional[str] = None) -> "FleetSession":
+        """Queue queries for the next :meth:`gather` — the
+        :meth:`Session.submit` contract (query or iterable arguments,
+        all-or-nothing staging, chainable), plus ``tenant=``."""
+        name = self._tenant(tenant)
+        staged: List[Query] = []
+        for q in queries:
+            if isinstance(q, Query):
+                staged.append(q)
+                continue
+            try:
+                items = iter(q)
+            except TypeError:
+                raise QueryError(
+                    f"submit() takes queries or iterables of "
+                    f"queries, got {q!r}"
+                ) from None
+            staged.extend(items)
+        self._pending.extend((name, q) for q in staged)
+        return self
+
+    def gather(self, scheme: Any = None) -> List[Answer]:
+        """Answer everything queued, in submission order.
+
+        Like :meth:`Session.gather`, the queue is drained even when a
+        shard fails, so one malformed stream cannot poison the next
+        gather.
+        """
+        batch, self._pending = self._pending, []
+        return self._run(batch, scheme)
+
+    def answer(self, queries: Iterable[Query], scheme: Any = None, *,
+               tenant: Optional[str] = None) -> List[Answer]:
+        """One-shot :meth:`Session.answer` (queue untouched)."""
+        name = self._tenant(tenant)
+        return self._run([(name, q) for q in queries], scheme)
+
+    def answer_one(self, query: Query, scheme: Any = None, *,
+                   tenant: Optional[str] = None) -> Answer:
+        return self.answer([query], scheme, tenant=tenant)[0]
+
+    async def answer_async(self, queries: Iterable[Query],
+                           scheme: Any = None, *,
+                           tenant: Optional[str] = None) -> List[Answer]:
+        """Awaitable :meth:`answer`; overlapping awaits serialize on
+        the fleet's gather lock, like :meth:`Session.answer_async`."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, functools.partial(self.answer, list(queries), scheme,
+                                    tenant=tenant)
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _run(self, batch: List[Tuple[str, Query]],
+             scheme: Any) -> List[Answer]:
+        self._validate(batch)
+        if not batch:
+            return []
+        with self._gather_lock:
+            answers: List[Optional[Answer]] = [None] * len(batch)
+            first_error: Optional[ErrorReply] = None
+            for tenant in dict.fromkeys(name for name, _ in batch):
+                indices = [i for i, (name, _) in enumerate(batch)
+                           if name == tenant]
+                error = self._run_tenant(
+                    tenant, [batch[i][1] for i in indices], indices,
+                    scheme, answers,
+                )
+                if first_error is None and error is not None:
+                    first_error = error
+            self._gathers += 1
+            if first_error is not None:
+                raise_reply(first_error)
+        return [a for a in answers if a is not None]
+
+    def _run_tenant(self, tenant: str, queries: List[Query],
+                    indices: List[int], scheme: Any,
+                    answers: List[Optional[Answer]]
+                    ) -> Optional[ErrorReply]:
+        """Shard one tenant's sub-batch; fill ``answers`` in place.
+
+        Returns the first :class:`ErrorReply` instead of raising, so a
+        multi-tenant gather finishes every healthy tenant before the
+        caller surfaces the failure (the drained-queue contract).
+        """
+        self.registry.start()
+        eligible = self.registry.routing_candidates()
+        shards = self._routers[tenant].shard(queries, eligible)
+        assignments = {
+            worker: ExecuteRequest(
+                tenant=tenant,
+                queries=tuple(queries[i] for i in local),
+                scheme=scheme,
+            )
+            for worker, local in shards.items()
+        }
+        replies = self.registry.dispatch(assignments)
+        first_error: Optional[ErrorReply] = None
+        for worker, local in shards.items():
+            reply = replies[worker]
+            if isinstance(reply, ErrorReply):
+                if first_error is None:
+                    first_error = reply
+                continue
+            if not isinstance(reply, ExecuteReply):
+                raise FleetError(
+                    f"worker {worker} answered execute with {reply!r}"
+                )
+            for local_i, answer in zip(local, reply.answers):
+                answers[indices[local_i]] = answer
+        return first_error
+
+    def _validate(self, batch: List[Tuple[str, Query]]) -> None:
+        """Stream-level checks that sharding would otherwise split.
+
+        Workers re-validate their own shards (unknown vertices, bad
+        schemes — per-shard properties), but *mixed* ``weighted=``
+        declarations are a property of the whole stream: two
+        contradictory queries could land on different workers and
+        each shard would look internally consistent.  So the one
+        cross-shard invariant is enforced here, parent-side, exactly
+        as :meth:`~repro.query.planner.Planner.plan` words it.
+        """
+        declared: Dict[bool, Query] = {}
+        for _, q in batch:
+            if not isinstance(q, Query) or type(q) is Query:
+                raise QueryError(
+                    f"not a query object: {q!r} (use the typed query "
+                    f"classes from repro.query)"
+                )
+            if q.weighted is not None:
+                declared.setdefault(bool(q.weighted), q)
+        if len(declared) > 1:
+            raise QueryError(
+                "mixed weighted and unweighted queries in one stream: "
+                f"{declared[True]!r} vs {declared[False]!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # batch facades outside the algebra
+    # ------------------------------------------------------------------
+    def preserver_violations(self, preserver_edges: Iterable[Any],
+                             sources: Iterable[int],
+                             scenarios: Iterable[Iterable[Any]],
+                             targets: Optional[Iterable[int]] = None, *,
+                             tenant: Optional[str] = None) -> Any:
+        """Definition-4 preserver check, served by one worker (see
+        :meth:`Session.preserver_violations`)."""
+        return self._job(tenant, "preserver_violations",
+                         (tuple(tuple(e) for e in preserver_edges),
+                          tuple(sources),
+                          tuple(tuple(tuple(e) for e in s)
+                                for s in scenarios),
+                          None if targets is None else tuple(targets)))
+
+    def midpoint_scan(self, scheme: Any, s: int, t: int,
+                      faults: Iterable[Any],
+                      subset: Iterable[Any] = (), *,
+                      tenant: Optional[str] = None) -> Any:
+        """Midpoint restoration scan on one worker's cached tree
+        indices (see :meth:`Session.midpoint_scan`)."""
+        return self._job(tenant, "midpoint_scan",
+                         (scheme, s, t, tuple(tuple(e) for e in faults),
+                          tuple(tuple(e) for e in subset)))
+
+    def _job(self, tenant: Optional[str], method: str,
+             args: Tuple[Any, ...]) -> Any:
+        """Route a facade job to the least-loaded eligible worker."""
+        name = self._tenant(tenant)
+        with self._gather_lock:
+            self.registry.start()
+            eligible = self.registry.routing_candidates()
+            worker = min(
+                eligible,
+                key=lambda w: self.registry.capacity(w).in_flight,
+            )
+            request = JobRequest(tenant=name, method=method, args=args)
+            replies = self.registry.dispatch({worker: request})
+        reply = raise_reply(replies[worker])
+        if not isinstance(reply, JobReply):
+            raise FleetError(
+                f"worker {worker} answered job with {reply!r}"
+            )
+        return reply.value
+
+    # ------------------------------------------------------------------
+    # merged reports
+    # ------------------------------------------------------------------
+    def worker_reports(self) -> Dict[str, ReportReply]:
+        """Fresh per-worker report replies (capacity, per-tenant
+        :class:`CacheInfo` and :class:`SessionStats`)."""
+        with self._gather_lock:
+            return self.registry.reports()
+
+    def cache_info(self) -> CacheInfo:
+        """All workers' engine counters, folded with
+        :meth:`CacheInfo.merge` — plus the serial-fallback sessions'
+        counters when the fleet has degraded."""
+        infos: List[CacheInfo] = []
+        for report in self.worker_reports().values():
+            infos.extend(info for _, info in report.cache_infos)
+        infos.extend(
+            s.cache_info() for s in self._fallback_sessions()
+        )
+        return CacheInfo.merge(infos)
+
+    @property
+    def stats(self) -> SessionStats:
+        """All workers' session stats, folded with
+        :meth:`SessionStats.merge`; ``by_worker`` shows the shard
+        balance (including ``"serial"`` when the fleet has degraded)."""
+        stats: List[SessionStats] = []
+        for report in self.worker_reports().values():
+            stats.extend(st for _, st in report.stats)
+        stats.extend(s.stats for s in self._fallback_sessions())
+        return SessionStats.merge(stats)
+
+    def capacities(self) -> Dict[str, WorkerCapacity]:
+        """Per-worker capacity views, refreshed from live reports."""
+        self.worker_reports()
+        return self.registry.capacities()
+
+    def _fallback_sessions(self) -> List[Any]:
+        serial = self.registry._serial_sessions
+        return list(serial.values()) if serial else []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def gathers(self) -> int:
+        """Fleet-level gather count (each spans all its shards)."""
+        return self._gathers
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        self.registry.close()
+
+    def __enter__(self) -> "FleetSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _tenant(self, tenant: Optional[str]) -> str:
+        if tenant is None:
+            if len(self._graphs) == 1:
+                return next(iter(self._graphs))
+            raise FleetError(
+                f"fleet hosts {len(self._graphs)} tenants "
+                f"({sorted(self._graphs)}); pass tenant=..."
+            )
+        if tenant not in self._graphs:
+            raise FleetError(
+                f"unknown tenant {tenant!r}; fleet hosts "
+                f"{sorted(self._graphs)}"
+            )
+        return tenant
+
+    def __repr__(self) -> str:
+        return (
+            f"FleetSession(tenants={list(self._graphs)}, "
+            f"workers={len(self.registry.workers)}, "
+            f"gathers={self._gathers}, pending={len(self._pending)})"
+        )

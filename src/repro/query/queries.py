@@ -190,6 +190,10 @@ class Provenance:
     ``"pyloops"`` or ``"vectorized"``) that served a ``"wave"`` or
     ``"delta"`` answer; cache and filter answers ran no kernel, so it
     stays ``None``.
+
+    ``worker`` names the fleet worker (:mod:`repro.fleet`) whose
+    engine produced the answer; answers served by a plain in-process
+    :class:`~repro.query.session.Session` leave it ``None``.
     """
 
     source: str
@@ -198,6 +202,7 @@ class Provenance:
     side: Optional[str] = None
     wave_size: int = 0
     backend: Optional[str] = None
+    worker: Optional[str] = None
 
 
 @dataclass(frozen=True)

@@ -42,7 +42,9 @@ class SessionStats:
 
     ``by_backend`` splits the kernel-served answers (``wave`` and
     ``delta``) by which kernel backend (:mod:`repro.backends`) ran
-    them — e.g. ``{"pyloops": 12, "vectorized": 340}``.
+    them — e.g. ``{"pyloops": 12, "vectorized": 340}``.  ``by_worker``
+    splits answers by the fleet worker (:mod:`repro.fleet`) whose
+    engine produced them; a plain in-process session leaves it empty.
     """
 
     answers: int = 0
@@ -53,6 +55,7 @@ class SessionStats:
     delta: int = 0
     wave: int = 0
     by_backend: Dict[str, int] = field(default_factory=dict)
+    by_worker: Dict[str, int] = field(default_factory=dict)
 
     def record(self, plan: Plan, answers: List[Answer]) -> None:
         self.answers += len(answers)
@@ -72,6 +75,37 @@ class SessionStats:
             if served_by is not None:
                 self.by_backend[served_by] = (
                     self.by_backend.get(served_by, 0) + 1)
+            worker = a.provenance.worker
+            if worker is not None:
+                self.by_worker[worker] = (
+                    self.by_worker.get(worker, 0) + 1)
+
+    @classmethod
+    def merge(cls, stats: Iterable["SessionStats"]) -> "SessionStats":
+        """Aggregate many sessions' totals into one fresh snapshot.
+
+        Counters sum; the ``by_backend`` / ``by_worker`` tallies merge
+        by name.  This is how a :class:`~repro.fleet.session.FleetSession`
+        folds its per-worker session stats into one report, and it is
+        equally useful for aggregating independent sessions (e.g. one
+        per thread) into a deployment-wide view.
+        """
+        merged = cls()
+        for st in stats:
+            merged.answers += st.answers
+            merged.gathers += st.gathers
+            merged.waves += st.waves
+            merged.cache += st.cache
+            merged.filter += st.filter
+            merged.delta += st.delta
+            merged.wave += st.wave
+            for name, count in st.by_backend.items():
+                merged.by_backend[name] = (
+                    merged.by_backend.get(name, 0) + count)
+            for name, count in st.by_worker.items():
+                merged.by_worker[name] = (
+                    merged.by_worker.get(name, 0) + count)
+        return merged
 
 
 class Session:

@@ -135,7 +135,11 @@ class CacheInfo:
     eviction policy.  ``wave_backends`` reports which kernel backend
     (:mod:`repro.backends`) served the engine's batched waves, as
     sorted ``(name, count)`` pairs — JSON-able and hashable like every
-    other field.
+    other field.  ``pool_fallbacks`` counts the times
+    :meth:`ScenarioEngine.run` was asked for a process pool but had to
+    degrade to the serial path (each occurrence also emits a
+    :class:`RuntimeWarning`), so pool/fleet degradation is observable
+    instead of silent.
 
     Attribute access is the canonical interface; ``__getitem__`` and
     ``keys`` keep the pre-existing mapping idiom working, so
@@ -154,6 +158,7 @@ class CacheInfo:
     size: int
     maxsize: int
     wave_backends: Tuple[Tuple[str, int], ...] = ()
+    pool_fallbacks: int = 0
 
     def __getitem__(self, key: str) -> Any:
         if key not in _CACHE_INFO_FIELDS:
@@ -181,6 +186,28 @@ class CacheInfo:
     def as_dict(self) -> Dict[str, Any]:
         """A plain dict (JSON-ready), same keys as the PR-2 payload."""
         return {name: getattr(self, name) for name in _CACHE_INFO_FIELDS}
+
+    @classmethod
+    def merge(cls, infos: Iterable["CacheInfo"]) -> "CacheInfo":
+        """Aggregate many snapshots into one (fleet / multi-session).
+
+        Every counter sums — including ``size`` and ``maxsize``, which
+        become the aggregate footprint and aggregate capacity of the
+        merged caches — and the per-backend wave tallies merge by
+        name.  Merging the per-worker reports of a
+        :class:`~repro.fleet.session.FleetSession` equals the fleet's
+        own :meth:`~repro.fleet.session.FleetSession.cache_info`.
+        """
+        totals = {name: 0 for name in _CACHE_INFO_FIELDS
+                  if name != "wave_backends"}
+        backends: Dict[str, int] = {}
+        for info in infos:
+            for name in totals:
+                totals[name] += info[name]
+            for backend, count in info.wave_backends:
+                backends[backend] = backends.get(backend, 0) + count
+        return cls(wave_backends=tuple(sorted(backends.items())),
+                   **totals)
 
 
 _CACHE_INFO_FIELDS = tuple(f.name for f in fields(CacheInfo))
@@ -453,6 +480,10 @@ class ScenarioEngine:
         # through cache_info() and the Session stats.
         self.wave_backends: Dict[str, int] = {}
         self.last_repair_backend: Optional[str] = None
+        # Times run() degraded from a requested process pool to the
+        # serial path (warned, and surfaced through cache_info so
+        # fleet/pool monitoring sees the degradation).
+        self.pool_fallbacks = 0
         # Perturbed-weight state (weighted mode): snapshot per seed,
         # SSSP result per (seed, source) — the amortised substrate of
         # restore_via_middle_edge over a scenario stream.
@@ -932,6 +963,7 @@ class ScenarioEngine:
             size=len(self._memo),
             maxsize=self._memo_max,
             wave_backends=tuple(sorted(self.wave_backends.items())),
+            pool_fallbacks=self.pool_fallbacks,
         )
 
     # ------------------------------------------------------------------
@@ -1362,16 +1394,26 @@ class ScenarioEngine:
         stream fans out over a ``multiprocessing`` pool (the evaluator
         must then be a picklable top-level callable); any pool setup
         failure falls back to the serial path, so results are always
-        produced.
+        produced — but not silently: the degradation emits a
+        :class:`RuntimeWarning` and is counted as a ``pool_fallbacks``
+        tick in :meth:`cache_info`, so a fleet or monitoring layer
+        that asked for parallelism can see it did not get it.
         """
         fault_sets = [_canonical(f) for f in scenarios]
         if processes > 1 and fault_sets:
             try:
                 pool = _make_pool(self.graph, evaluator, processes)
             except (ImportError, OSError, AttributeError, TypeError,
-                    pickle.PicklingError):
+                    pickle.PicklingError) as exc:
                 # No usable pool here (or the evaluator/graph does not
                 # pickle under spawn); serial fallback below.
+                self.pool_fallbacks += 1
+                warnings.warn(
+                    f"ScenarioEngine.run: process pool unavailable "
+                    f"({type(exc).__name__}: {exc}); evaluating "
+                    f"{len(fault_sets)} scenarios serially",
+                    RuntimeWarning, stacklevel=2,
+                )
                 pool = None
             if pool is not None:
                 # Evaluator exceptions raised inside the pool propagate:

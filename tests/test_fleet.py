@@ -1,0 +1,461 @@
+"""The engine fleet (repro.fleet): protocol spawn-safety, routing,
+capacity accounting, worker lifecycle, and FleetSession conformance.
+
+The general Session-surface conformance lives in test_query_api.py
+(the facade tests parametrised over the `make_session` factory); this
+module covers what is fleet-specific — the pickle seam, the router's
+affinity guarantees, the registry's degradation ladder, and the
+merged reports.
+"""
+
+import io
+import pickle
+import warnings
+from multiprocessing.reduction import ForkingPickler
+
+import pytest
+
+from repro.exceptions import FleetError, QueryError
+from repro.graphs import generators
+from repro.query import (
+    ConnectivityQuery,
+    DistanceQuery,
+    EccentricityQuery,
+    PairQuery,
+    Session,
+    VectorQuery,
+)
+from repro.fleet import (
+    FleetSession,
+    Router,
+    TenantSpec,
+    WorkerCapacity,
+    WorkerRegistry,
+    fault_hash,
+)
+from repro.fleet.protocol import (
+    ErrorReply,
+    ExecuteRequest,
+    InitRequest,
+    JobRequest,
+    PingRequest,
+    ReportRequest,
+    ShutdownRequest,
+    raise_reply,
+    request_weight,
+)
+from repro.scenarios import CacheInfo, random_fault_sets
+
+
+def _spawn_roundtrip(obj):
+    """Round-trip through the reducer multiprocessing actually uses.
+
+    Connection.send pickles with ForkingPickler under every start
+    method, so this is the exact seam a message must survive — under
+    ``spawn`` there is no inherited state to hide behind.
+    """
+    buf = io.BytesIO()
+    ForkingPickler(buf, pickle.HIGHEST_PROTOCOL).dump(obj)
+    return pickle.loads(buf.getvalue())
+
+
+def _mixed_stream(g, seed=0, scenarios=5):
+    stream = []
+    for F in random_fault_sets(g, 2, scenarios, seed=seed):
+        stream += [
+            DistanceQuery(0, g.n - 1, F),
+            PairQuery(1, g.n - 2, F),
+            VectorQuery(2, F),
+            EccentricityQuery(3, F),
+            ConnectivityQuery(F),
+        ]
+    return stream
+
+
+# ----------------------------------------------------------------------
+# spawn-safety: everything that crosses the worker boundary pickles
+# ----------------------------------------------------------------------
+class TestSpawnSafety:
+    def test_tenant_spec_roundtrips(self, grid4, grid_scheme):
+        spec = TenantSpec(name="t", graph=grid4, memoize=128,
+                          delta=False, scheme=grid_scheme,
+                          warm_sources=(0, 5))
+        back = _spawn_roundtrip(spec)
+        assert back.name == "t" and back.memoize == 128
+        assert back.graph.n == grid4.n and back.graph.m == grid4.m
+        assert back.warm_sources == (0, 5)
+
+    def test_requests_roundtrip(self, grid4):
+        for request in (
+            InitRequest(tenants=(TenantSpec("d", grid4),)),
+            ExecuteRequest(tenant="d",
+                           queries=(DistanceQuery(0, 15, [(0, 1)]),
+                                    VectorQuery(1),
+                                    ConnectivityQuery())),
+            JobRequest(tenant="d", method="preserver_violations",
+                       args=(((0, 1),), (0,), ((),), None)),
+            ReportRequest(),
+            PingRequest(),
+            ShutdownRequest(),
+        ):
+            assert _spawn_roundtrip(request) == request
+
+    def test_queries_and_answers_roundtrip(self, grid4):
+        stream = _mixed_stream(grid4, seed=2, scenarios=3)
+        assert _spawn_roundtrip(stream) == stream
+        answers = Session(grid4).answer(stream)
+        back = _spawn_roundtrip(answers)
+        assert [a.value for a in back] == [a.value for a in answers]
+        assert [a.provenance for a in back] == [
+            a.provenance for a in answers]
+
+    def test_engine_construction_args_roundtrip(self, grid4):
+        # what a worker actually builds its engines from
+        kwargs = {"memoize": 64, "delta": True}
+        graph, kwargs2 = _spawn_roundtrip((grid4, kwargs))
+        session = Session(graph, **kwargs2)
+        assert session.answer_one(DistanceQuery(0, 15)).value == 6
+
+    def test_cache_info_and_stats_roundtrip(self, grid4):
+        session = Session(grid4)
+        session.answer(_mixed_stream(grid4, seed=1, scenarios=2))
+        info = session.cache_info()
+        assert _spawn_roundtrip(info) == info
+        stats = _spawn_roundtrip(session.stats)
+        assert stats.answers == session.stats.answers
+
+    def test_error_reply_reraises_repro_types(self):
+        reply = ErrorReply(worker="w0", exc_type="QueryError",
+                           message="bad stream")
+        with pytest.raises(QueryError, match="bad stream"):
+            raise_reply(reply)
+        with pytest.raises(FleetError, match="ZeroDivisionError"):
+            raise_reply(ErrorReply(worker="w0",
+                                   exc_type="ZeroDivisionError",
+                                   message="boom"))
+
+    def test_request_weight(self):
+        assert request_weight(PingRequest()) == 1
+        assert request_weight(
+            ExecuteRequest(tenant="d",
+                           queries=(ConnectivityQuery(),) * 5)
+        ) == 5
+
+
+# ----------------------------------------------------------------------
+# router
+# ----------------------------------------------------------------------
+class TestRouter:
+    def test_fault_hash_is_process_stable(self):
+        # pinned value: crc32 of the repr, no interpreter salt
+        key = ((0, 1), (2, 3))
+        assert fault_hash(key) == fault_hash(key)
+        import zlib
+
+        assert fault_hash(key) == zlib.crc32(repr(key).encode())
+
+    def test_fault_affinity(self, grid4):
+        router = Router("faults")
+        stream = _mixed_stream(grid4, seed=4)
+        shards = router.shard(stream, ["w0", "w1", "w2"])
+        owner = {}
+        for worker, indices in shards.items():
+            for i in indices:
+                key = stream[i].fault_key
+                assert owner.setdefault(key, worker) == worker, (
+                    "one fault set split across workers")
+
+    def test_deterministic_across_instances(self, grid4):
+        stream = _mixed_stream(grid4, seed=7)
+        a = Router("faults").shard(stream, ["w0", "w1"])
+        b = Router("faults").shard(stream, ["w0", "w1"])
+        assert a == b
+
+    def test_routes_around_full_workers(self, grid4):
+        stream = _mixed_stream(grid4, seed=4)
+        shards = Router("faults").shard(stream, ["w1", "w2"])
+        assert "w0" not in shards
+        assert sorted(i for idx in shards.values() for i in idx) == \
+            list(range(len(stream)))
+
+    def test_source_policy_partitions_by_range(self):
+        router = Router("source", n=100)
+        stream = [VectorQuery(s, [(0, 1)]) for s in range(100)]
+        shards = router.shard(stream, ["w0", "w1"])
+        assert shards["w0"] == list(range(50))
+        assert shards["w1"] == list(range(50, 100))
+
+    def test_auto_prefers_source_for_vector_heavy_streams(self):
+        router = Router("auto", n=100)
+        # one fault set, many sources: fault-hashing would idle w1
+        stream = [VectorQuery(s, [(0, 1)]) for s in range(0, 100, 5)]
+        assert router.resolve(stream, ["w0", "w1"]) == "source"
+        assert len(router.shard(stream, ["w0", "w1"])) == 2
+        # sourceless queries force fault sharding
+        assert router.resolve([ConnectivityQuery()], ["w0", "w1"]) \
+            == "faults"
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(FleetError, match="unknown routing policy"):
+            Router("roundrobin")
+
+    def test_zero_eligible_raises(self):
+        with pytest.raises(FleetError, match="zero eligible"):
+            Router("faults").shard([ConnectivityQuery()], [])
+
+
+# ----------------------------------------------------------------------
+# capacity accounting
+# ----------------------------------------------------------------------
+class TestCapacity:
+    def test_over_commit_math(self):
+        cap = WorkerCapacity(worker="w0", total_bytes=1000,
+                             used_bytes=900, wave_bytes=50,
+                             in_flight=2, over_commit=1.5)
+        assert cap.committed_bytes == 1500
+        assert cap.booked_bytes == 1000
+        assert cap.available_bytes == 500
+        assert cap.has_room
+
+    def test_full_worker_has_no_room(self):
+        cap = WorkerCapacity(worker="w0", total_bytes=1000,
+                             used_bytes=1000, wave_bytes=0,
+                             in_flight=0, over_commit=1.0)
+        assert not cap.has_room
+
+    def test_unreported_worker_has_room(self):
+        cap = WorkerCapacity(worker="w0", total_bytes=0, used_bytes=0,
+                             wave_bytes=0, in_flight=0, over_commit=1.0)
+        assert cap.has_room
+
+    def test_in_flight_books_against_capacity(self):
+        cap = WorkerCapacity(worker="w0", total_bytes=1000,
+                             used_bytes=500, wave_bytes=100,
+                             in_flight=5, over_commit=1.0)
+        assert cap.available_bytes == 0 and not cap.has_room
+
+    def test_registry_reports_fill_the_book(self, grid4):
+        with WorkerRegistry([TenantSpec("d", grid4, memoize=32)],
+                            workers=2) as registry:
+            registry.reports()
+            caps = registry.capacities()
+            assert set(caps) == {"w0", "w1"}
+            vector_bytes = grid4.n * 8
+            assert all(c.total_bytes == 32 * vector_bytes
+                       for c in caps.values())
+            assert all(c.wave_bytes == vector_bytes
+                       for c in caps.values())
+
+    def test_saturated_fleet_keeps_all_workers_eligible(self, grid4):
+        with WorkerRegistry([TenantSpec("d", grid4, memoize=4)],
+                            workers=2) as registry:
+            # drive both workers' tiny caches to capacity
+            for name in registry.workers:
+                registry.dispatch({name: ExecuteRequest(
+                    tenant="d",
+                    queries=tuple(VectorQuery(s, [(0, 1)])
+                                  for s in range(8)),
+                )})
+            registry.reports()
+            assert all(not c.has_room
+                       for c in registry.capacities().values())
+            assert sorted(registry.routing_candidates()) == ["w0", "w1"]
+
+
+# ----------------------------------------------------------------------
+# registry lifecycle and degradation
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_configuration_errors(self, grid4):
+        spec = TenantSpec("d", grid4)
+        with pytest.raises(FleetError, match="at least one worker"):
+            WorkerRegistry([spec], workers=0)
+        with pytest.raises(FleetError, match="at least one tenant"):
+            WorkerRegistry([], workers=1)
+        with pytest.raises(FleetError, match="duplicate tenant"):
+            WorkerRegistry([spec, TenantSpec("d", grid4)])
+        with pytest.raises(FleetError, match="over_commit"):
+            WorkerRegistry([spec], over_commit=0)
+
+    def test_ping_and_close(self, grid4):
+        registry = WorkerRegistry([TenantSpec("d", grid4)], workers=2)
+        assert registry.ping() == {"w0": True, "w1": True}
+        registry.close()
+        assert not any(h.alive for h in registry._handles.values())
+        registry.close()  # idempotent
+
+    def test_respawn_after_worker_death(self, grid4):
+        with WorkerRegistry([TenantSpec("d", grid4)],
+                            workers=2) as registry:
+            registry.start()
+            victim = registry._handles["w0"]
+            victim.process.terminate()
+            victim.process.join()
+            with pytest.warns(RuntimeWarning, match="respawning"):
+                replies = registry.dispatch({
+                    "w0": ExecuteRequest(
+                        tenant="d",
+                        queries=(DistanceQuery(0, 15, [(0, 1)]),)),
+                })
+            assert replies["w0"].answers[0].value == 6
+            assert registry.respawns == 1
+            assert registry.serial_fallbacks == 0
+            assert registry.ping()["w0"]
+
+    def test_serial_fallback_when_respawn_fails(self, grid4,
+                                                monkeypatch):
+        with WorkerRegistry([TenantSpec("d", grid4)],
+                            workers=2) as registry:
+            registry.start()
+            victim = registry._handles["w1"]
+            victim.process.terminate()
+            victim.process.join()
+
+            def _no_respawn(handle):
+                raise OSError("no processes left")
+
+            monkeypatch.setattr(registry, "_respawn", _no_respawn)
+            with pytest.warns(RuntimeWarning, match="serial fallback"):
+                replies = registry.dispatch({
+                    "w1": ExecuteRequest(
+                        tenant="d",
+                        queries=(DistanceQuery(0, 15, [(0, 1)]),)),
+                })
+            answer = replies["w1"].answers[0]
+            assert answer.value == 6
+            assert answer.provenance.worker == "serial"
+            assert registry.serial_fallbacks == 1
+
+
+# ----------------------------------------------------------------------
+# FleetSession
+# ----------------------------------------------------------------------
+class TestFleetSession:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_answers_equal_local_session(self, er_medium, workers):
+        stream = _mixed_stream(er_medium, seed=3, scenarios=6)
+        reference = Session(er_medium).answer(stream)
+        with FleetSession(er_medium, workers=workers) as fleet:
+            answers = fleet.answer(stream)
+        assert len(answers) == len(stream)
+        for a, b in zip(answers, reference):
+            assert a.query == b.query
+            assert a.value == b.value
+
+    def test_worker_provenance_and_shares(self, er_medium):
+        stream = _mixed_stream(er_medium, seed=3, scenarios=8)
+        with FleetSession(er_medium, workers=2) as fleet:
+            answers = fleet.answer(stream)
+            names = {a.provenance.worker for a in answers}
+            assert names <= {"w0", "w1"} and len(names) == 2
+            shares = fleet.stats.by_worker
+            assert sum(shares.values()) == len(stream)
+
+    def test_merged_cache_info_is_sum_of_worker_reports(self,
+                                                        er_medium):
+        with FleetSession(er_medium, workers=2) as fleet:
+            fleet.answer(_mixed_stream(er_medium, seed=5, scenarios=6))
+            reports = fleet.worker_reports()
+            per_worker = [info for rep in reports.values()
+                          for _, info in rep.cache_infos]
+            merged = fleet.cache_info()
+            assert merged == CacheInfo.merge(per_worker)
+            for name in merged.keys():
+                if name == "wave_backends":
+                    continue
+                assert merged[name] == sum(i[name] for i in per_worker)
+
+    def test_multi_tenant_budgets_and_isolation(self, grid4, torus4):
+        with FleetSession(graphs={"a": grid4, "b": torus4},
+                          budgets={"b": 8}, workers=2) as fleet:
+            a = fleet.answer_one(DistanceQuery(0, 15, [(0, 1)]),
+                                 tenant="a")
+            assert a.value == 6
+            # hammer tenant b's tiny budget
+            fleet.answer([VectorQuery(s, [(0, 1)])
+                          for s in range(torus4.n)], tenant="b")
+            for report in fleet.worker_reports().values():
+                infos = dict(report.cache_infos)
+                assert infos["b"].maxsize == 8
+                assert infos["a"].maxsize == 4096
+                # b's evictions never touch a's cache
+                assert infos["a"].evictions == 0
+                assert infos["a"].vector_evictions == 0
+
+    def test_tenant_validation(self, grid4, torus4):
+        with pytest.raises(FleetError, match="exactly one"):
+            FleetSession(grid4, graphs={"a": grid4})
+        with pytest.raises(FleetError, match="exactly one"):
+            FleetSession()
+        with pytest.raises(FleetError, match="no graph"):
+            FleetSession(graphs={"a": grid4}, budgets={"zzz": 4})
+        with FleetSession(graphs={"a": grid4, "b": torus4},
+                          workers=1) as fleet:
+            with pytest.raises(FleetError, match="pass tenant"):
+                fleet.answer([ConnectivityQuery()])
+            with pytest.raises(FleetError, match="unknown tenant"):
+                fleet.answer([ConnectivityQuery()], tenant="c")
+            with pytest.raises(FleetError, match="use tenant_graph"):
+                fleet.graph
+            assert fleet.tenant_graph("a") is grid4
+
+    def test_query_error_propagates_and_queue_drains(self, grid4):
+        with FleetSession(grid4, workers=2) as fleet:
+            fleet.submit(DistanceQuery(0, 99))  # unknown vertex
+            with pytest.raises(QueryError, match="unknown"):
+                fleet.gather()
+            assert fleet.pending == 0
+            # the fleet is not poisoned
+            assert fleet.answer_one(DistanceQuery(0, 15)).value == 6
+
+    def test_mixed_weightedness_caught_before_sharding(self, grid4):
+        # the two contradicting queries have different fault sets, so
+        # sharding could send each to a different worker where both
+        # shards would look internally consistent — the parent-side
+        # check must catch it first
+        with FleetSession(grid4, workers=2) as fleet:
+            with pytest.raises(QueryError, match="mixed"):
+                fleet.answer([
+                    DistanceQuery(0, 1, weighted=False),
+                    DistanceQuery(0, 2, [(0, 1)], weighted=True),
+                ])
+
+    def test_spawn_start_method_end_to_end(self, grid4):
+        with FleetSession(grid4, workers=2,
+                          start_method="spawn") as fleet:
+            stream = _mixed_stream(grid4, seed=1, scenarios=3)
+            answers = fleet.answer(stream)
+            reference = Session(grid4).answer(stream)
+            assert [a.value for a in answers] == [
+                a.value for a in reference]
+
+    def test_warm_sources_preload_base_vectors(self, grid4):
+        with FleetSession(grid4, workers=1,
+                          warm_sources=(0, 5)) as fleet:
+            fleet.registry.start()
+            # the warm vectors were computed at init, before any query
+            (report,) = fleet.worker_reports().values()
+            assert report.capacity.used_bytes == 0  # LRU still empty
+            a = fleet.answer_one(VectorQuery(0))
+            assert a.value[15] == 6
+
+    def test_preserver_and_midpoint_jobs(self, grid4, grid_scheme):
+        with FleetSession(grid4, workers=2) as fleet:
+            edges = list(grid4.edges())
+            targets = list(grid4.vertices())
+            local = Session(grid4)
+            assert fleet.preserver_violations(
+                edges, [0, 15], [()], targets=targets
+            ) == local.preserver_violations(
+                edges, [0, 15], [()], targets)
+            fault = edges[0]
+            assert fleet.midpoint_scan(
+                grid_scheme, 0, 15, [fault]
+            ) == local.midpoint_scan(grid_scheme, 0, 15, [fault])
+
+    def test_gathers_counter_and_repr(self, grid4):
+        with FleetSession(grid4, workers=1) as fleet:
+            fleet.submit(ConnectivityQuery()).gather()
+            assert fleet.gathers == 1
+            assert "FleetSession(" in repr(fleet)
+            assert fleet.tenants == ("default",)

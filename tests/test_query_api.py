@@ -376,9 +376,39 @@ class TestTargetSideBatching:
         assert plan.groups[0].side == "source"
 
 
+@pytest.fixture(params=["local", "fleet-1", "fleet-2"])
+def make_session(request):
+    """A session factory covering every `Session`-shaped surface.
+
+    ``local`` builds the in-process :class:`Session`; ``fleet-N``
+    builds a :class:`repro.fleet.FleetSession` over N worker
+    processes.  The facade tests parametrised over this fixture *are*
+    the fleet's conformance suite: whatever the local session answers,
+    a sharded fleet must answer identically.
+    """
+    built = []
+
+    def build(graph):
+        if request.param == "local":
+            session = Session(graph)
+        else:
+            from repro.fleet import FleetSession
+
+            workers = int(request.param.rsplit("-", 1)[1])
+            session = FleetSession(graph, workers=workers)
+        built.append(session)
+        return session
+
+    yield build
+    for session in built:
+        closer = getattr(session, "close", None)
+        if closer is not None:
+            closer()
+
+
 class TestSessionFacade:
-    def test_submit_gather_drains_in_order(self, grid4):
-        session = Session(grid4)
+    def test_submit_gather_drains_in_order(self, grid4, make_session):
+        session = make_session(grid4)
         session.submit(DistanceQuery(0, 15))
         session.submit([VectorQuery(1)], ConnectivityQuery())
         assert session.pending == 3
@@ -389,13 +419,13 @@ class TestSessionFacade:
         ]
         assert answers[0].value == 6 and answers[2].value is True
 
-    def test_submit_rejects_non_queries(self, grid4):
-        session = Session(grid4)
+    def test_submit_rejects_non_queries(self, grid4, make_session):
+        session = make_session(grid4)
         with pytest.raises(QueryError):
             session.submit(42)
 
-    def test_answer_async(self, grid4):
-        session = Session(grid4)
+    def test_answer_async(self, grid4, make_session):
+        session = make_session(grid4)
 
         async def go():
             return await session.answer_async(
@@ -428,8 +458,8 @@ class TestSessionFacade:
             Session.adopt(grid4, engine=_quiet_engine(grid4),
                           session=wrapped)
 
-    def test_preserver_violations_facade(self, grid4):
-        session = Session(grid4)
+    def test_preserver_violations_facade(self, grid4, make_session):
+        session = make_session(grid4)
         edges = list(grid4.edges())
         targets = list(grid4.vertices())
         bad = session.preserver_violations(
@@ -440,8 +470,8 @@ class TestSessionFacade:
                                             targets=targets)
         assert full == []
 
-    def test_stats_and_repr(self, grid4):
-        session = Session(grid4)
+    def test_stats_and_repr(self, grid4, make_session):
+        session = make_session(grid4)
         session.answer([DistanceQuery(0, 15, [(0, 1)])])
         assert session.stats.answers == 1
         assert "Session(" in repr(session)
@@ -453,3 +483,49 @@ class TestSessionFacade:
         assert dists == [6]
         with pytest.warns(DeprecationWarning):
             assert engine.connectivity([()]) == [True]
+
+
+class TestSessionStatsMerge:
+    def test_merge_sums_counters_and_unions_tallies(self):
+        from repro.query.session import SessionStats
+
+        a = SessionStats(answers=10, gathers=2, waves=3, cache=4,
+                         filter=1, delta=2, wave=3,
+                         by_backend={"pyloops": 3},
+                         by_worker={"w0": 10})
+        b = SessionStats(answers=5, gathers=1, waves=1, cache=0,
+                         filter=2, delta=0, wave=3,
+                         by_backend={"pyloops": 1, "vectorized": 2},
+                         by_worker={"w1": 5})
+        merged = SessionStats.merge([a, b])
+        assert merged.answers == 15 and merged.gathers == 3
+        assert merged.waves == 4
+        assert (merged.cache, merged.filter, merged.delta,
+                merged.wave) == (4, 3, 2, 6)
+        assert merged.by_backend == {"pyloops": 4, "vectorized": 2}
+        assert merged.by_worker == {"w0": 10, "w1": 5}
+        # inputs are untouched (merge builds a fresh snapshot)
+        assert a.by_backend == {"pyloops": 3}
+
+    def test_merge_of_nothing_is_zero(self):
+        from repro.query.session import SessionStats
+
+        merged = SessionStats.merge([])
+        assert merged.answers == 0 and merged.by_backend == {}
+
+    def test_record_tallies_workers(self, grid4):
+        from dataclasses import replace
+
+        session = Session(grid4)
+        answers = session.answer([DistanceQuery(0, 15, [(0, 1)]),
+                                  VectorQuery(3)])
+        stamped = [
+            replace(a, provenance=replace(a.provenance, worker="w7"))
+            for a in answers
+        ]
+        from repro.query.session import SessionStats
+
+        stats = SessionStats()
+        stats.record(session.planner.plan([q.query for q in stamped]),
+                     stamped)
+        assert stats.by_worker == {"w7": 2}

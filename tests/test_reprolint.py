@@ -164,19 +164,21 @@ def csr_scan(items):
     return out
 """,
     ),
-    "LD201": (  # module-level import from a higher layer
-        "repro.graphs.fake",
+    "LD201": (  # module-level import from a higher layer: the fleet
+        # sits *above* query (it builds sessions), so query code may
+        # only reach it through a deferred import.
+        "repro.query.fake",
         """
-from repro.scenarios.engine import ScenarioEngine
+from repro.fleet.session import FleetSession
 
-def build(graph):
-    return ScenarioEngine(graph)
+def scale_out(graph):
+    return FleetSession(graph)
 """,
         """
-def build(graph):
-    from repro.scenarios.engine import ScenarioEngine
+def scale_out(graph):
+    from repro.fleet.session import FleetSession
 
-    return ScenarioEngine(graph)
+    return FleetSession(graph)
 """,
     ),
     "LD202": (  # call to a deprecated engine shim

@@ -265,3 +265,87 @@ def _surviving_edges(view, faults):
 def _buggy_evaluator(view, faults):
     """Top-level evaluator raising the classic evaluator bug."""
     return view.m + "oops"  # TypeError
+
+# ----------------------------------------------------------------------
+# CacheInfo aggregation and the pool-degradation contract
+# ----------------------------------------------------------------------
+class TestCacheInfoMerge:
+    def test_merge_sums_counters_and_unions_backends(self):
+        from repro.scenarios import CacheInfo
+
+        a = CacheInfo(hits=3, misses=1, evictions=0, vector_hits=2,
+                      vector_misses=5, vector_evictions=1, delta_hits=4,
+                      delta_fallbacks=2, size=7, maxsize=64,
+                      wave_backends=(("pyloops", 3), ("vectorized", 1)),
+                      pool_fallbacks=1)
+        b = CacheInfo(hits=10, misses=2, evictions=3, vector_hits=0,
+                      vector_misses=1, vector_evictions=0, delta_hits=0,
+                      delta_fallbacks=1, size=5, maxsize=64,
+                      wave_backends=(("vectorized", 6),))
+        merged = CacheInfo.merge([a, b])
+        assert merged.hits == 13 and merged.misses == 3
+        assert merged.evictions == 3
+        assert merged.vector_hits == 2 and merged.vector_misses == 6
+        assert merged.delta_hits == 4 and merged.delta_fallbacks == 3
+        assert merged.size == 12 and merged.maxsize == 128
+        assert merged.pool_fallbacks == 1
+        assert merged.wave_backends == (
+            ("pyloops", 3), ("vectorized", 7))
+        # componentwise: merging is exactly field-by-field summation
+        for name in a.keys():
+            if name == "wave_backends":
+                continue
+            assert merged[name] == a[name] + b[name]
+
+    def test_merge_of_nothing_is_zero(self):
+        from repro.scenarios import CacheInfo
+
+        zero = CacheInfo.merge([])
+        assert dict(zero) == dict(CacheInfo(
+            hits=0, misses=0, evictions=0, vector_hits=0,
+            vector_misses=0, vector_evictions=0, delta_hits=0,
+            delta_fallbacks=0, size=0, maxsize=0,
+        ))
+
+    def test_merge_matches_live_engines(self, torus):
+        from repro.scenarios import CacheInfo
+
+        engines = [ScenarioEngine(torus) for _ in range(2)]
+        for i, engine in enumerate(engines):
+            for faults in random_fault_sets(torus, 1, 4, seed=i):
+                engine.source_vectors([0, 7], faults)
+        merged = CacheInfo.merge(e.cache_info() for e in engines)
+        assert merged.size == sum(e.cache_info().size for e in engines)
+        assert merged.vector_misses == sum(
+            e.cache_info().vector_misses for e in engines)
+
+
+class TestPoolFallback:
+    def test_pool_failure_warns_and_counts(self, torus, monkeypatch):
+        import pickle
+
+        import repro.scenarios.engine as engine_mod
+
+        def _broken_pool(graph, evaluator, processes):
+            raise pickle.PicklingError("evaluator does not pickle")
+
+        monkeypatch.setattr(engine_mod, "_make_pool", _broken_pool)
+        engine = ScenarioEngine(torus)
+        scenarios = random_fault_sets(torus, 1, 6, seed=3)
+        serial = engine.run(_surviving_edges, scenarios)
+        assert engine.pool_fallbacks == 0
+        with pytest.warns(RuntimeWarning,
+                          match="process pool unavailable"):
+            degraded = engine.run(_surviving_edges, scenarios,
+                                  processes=2)
+        # results are still produced, the degradation is just counted
+        assert [r.value for r in degraded] == [r.value for r in serial]
+        assert engine.pool_fallbacks == 1
+        assert engine.cache_info().pool_fallbacks == 1
+
+    def test_serial_runs_never_count(self, torus):
+        engine = ScenarioEngine(torus)
+        engine.run(_surviving_edges, random_fault_sets(torus, 1, 3,
+                                                       seed=1))
+        assert engine.pool_fallbacks == 0
+        assert engine.cache_info().pool_fallbacks == 0

@@ -203,6 +203,7 @@ class TestScenarioMemo:
             "hits": 0, "misses": 0, "evictions": 0,
             "vector_hits": 0, "vector_misses": 0, "vector_evictions": 0,
             "delta_hits": 0, "delta_fallbacks": 0,
+            "pool_fallbacks": 0,
             "size": 0, "maxsize": 0,
             # pair_replacement_distance runs single-source kernels, so
             # no batched wave (and no backend tally) ever fires here
