@@ -70,6 +70,10 @@ def emit_json(name: str, payload: Dict) -> pathlib.Path:
         # (None = not a fleet bench / the bench didn't say).
         "workers": (params.get("workers")
                     if isinstance(params, dict) else None),
+        # Service benches record their concurrent-client count, same
+        # idea one layer up (None = not a service bench).
+        "clients": (params.get("clients")
+                    if isinstance(params, dict) else None),
     })
     return path
 

@@ -12,7 +12,11 @@ Five commands, each a thin veneer over the library:
   label sizes against the Theorem-30 bound.
 * ``query`` — drive a mixed declarative query stream (pairs, vectors,
   eccentricities, connectivity) through a :mod:`repro.query` session
-  and report what the planner batched, cached, and filtered.
+  and report what the planner batched, cached, and filtered — or,
+  with ``--connect HOST:PORT``, through a running scenario service.
+* ``serve`` — run the scenario service (:mod:`repro.service`): an
+  asyncio front over one shared session (or fleet) backend, with
+  cross-client wave coalescing and admission control.
 
 Graph-construction errors (:class:`~repro.exceptions.GraphError`)
 exit 2 with a one-line message on stderr — the argparse convention —
@@ -162,7 +166,13 @@ def cmd_query(args) -> int:
 
     graph = _load_graph(args)
     workers = getattr(args, "workers", 0)
-    if workers > 0:
+    connect = getattr(args, "connect", None)
+    if connect:
+        from repro.service import ServiceClient
+
+        host, _, port = connect.rpartition(":")
+        session = ServiceClient(host or "127.0.0.1", int(port))
+    elif workers > 0:
         from repro.fleet import FleetSession
 
         session = FleetSession(graph, workers=workers)
@@ -186,7 +196,11 @@ def cmd_query(args) -> int:
             ConnectivityQuery(faults),
         )
     print(f"graph: n={graph.n}, m={graph.m}")
-    if workers > 0:
+    if connect:
+        print(f"service: connected to {session.server!r} at "
+              f"{connect} (tenants {list(session.tenants)}) — the "
+              f"local graph args must describe the served graph")
+    elif workers > 0:
         print(f"fleet: {workers} workers, sharded by fault set")
     print(f"query stream: {session.pending} queries "
           f"({len(scenarios)} fault sets x {len(pairs)} monitored pairs "
@@ -211,16 +225,23 @@ def cmd_query(args) -> int:
         if isinstance(a.query, ConnectivityQuery) and not a.value
     )
     st = session.stats
+    waves = ("counted server-side" if connect
+             else f"served by {st.waves} batched waves")
     print(f"answers: {st.cache} cache / {st.filter} filter / "
-          f"{st.delta} delta / {st.wave} wave "
-          f"(served by {st.waves} batched waves)")
+          f"{st.delta} delta / {st.wave} wave ({waves})")
     print(f"degraded monitored-pair answers: {degraded}; "
           f"disconnecting fault sets: {cut}/{len(scenarios)}")
     info = session.cache_info()
     print(f"engine LRU: {info.size} entries, pair memo "
           f"{info.hits}h/{info.misses}m, vector cache "
           f"{info.vector_hits}h/{info.vector_misses}m")
-    if workers > 0:
+    if connect:
+        server = session.server_stats()["server"]
+        print(f"service: {server['batches']} micro-batches, "
+              f"{server['coalesced_queries']} queries rode a "
+              f"shared wave")
+        session.close()
+    elif workers > 0:
         shares = ", ".join(
             f"{name}={count}" for name, count in
             sorted(st.by_worker.items())
@@ -228,6 +249,56 @@ def cmd_query(args) -> int:
         print(f"worker shares: {shares}")
         session.close()
     print(f"session: {session!r}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.query import Session
+    from repro.service import ScenarioServer
+
+    graph = _load_graph(args)
+    if args.workers > 0:
+        from repro.fleet import FleetSession
+
+        backend = FleetSession(graph, workers=args.workers)
+    else:
+        backend = Session(graph)
+
+    async def _serve() -> None:
+        server = ScenarioServer(
+            backend, host=args.host, port=args.port,
+            max_batch=args.max_batch,
+            max_delay=args.max_delay_ms / 1000.0,
+        )
+        await server.start()
+        host, port = server.address
+        print(f"serving n={graph.n}, m={graph.m} on {host}:{port} "
+              f"(coalescing <= {server.coalescer.max_batch} queries "
+              f"/ {args.max_delay_ms}ms)")
+        if args.port_file:
+            from pathlib import Path
+
+            Path(args.port_file).write_text(f"{host}:{port}\n")
+        try:
+            if args.ttl > 0:
+                await asyncio.sleep(args.ttl)
+            else:
+                await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.drain()
+            print(f"drained: {server.counters()}")
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if args.workers > 0:
+            backend.close()
     return 0
 
 
@@ -277,7 +348,36 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--workers", type=int, default=0,
                        help="shard the stream across N fleet worker "
                             "processes (default: 0 = in-process)")
+    query.add_argument("--connect", metavar="HOST:PORT",
+                       help="answer through a running scenario "
+                            "service instead of in-process (the "
+                            "graph args must describe the served "
+                            "graph)")
     query.set_defaults(fn=cmd_query)
+
+    serve = sub.add_parser(
+        "serve", help="run the scenario service over a shared session"
+    )
+    _add_graph_args(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port (default: 0 = pick a free one)")
+    serve.add_argument("--port-file",
+                       help="write the bound HOST:PORT to this file "
+                            "once listening (for scripted clients)")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="back the service with an N-worker fleet "
+                            "(default: 0 = one in-process session)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="coalescer flush size in queries "
+                            "(default: 64)")
+    serve.add_argument("--max-delay-ms", type=float, default=2.0,
+                       help="coalescer flush deadline in ms "
+                            "(default: 2)")
+    serve.add_argument("--ttl", type=float, default=0,
+                       help="serve for this many seconds then drain "
+                            "(default: 0 = forever)")
+    serve.set_defaults(fn=cmd_serve)
 
     return parser
 

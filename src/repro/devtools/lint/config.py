@@ -48,6 +48,11 @@ LAYERS: Tuple[Tuple[str, ...], ...] = (
     # ``query`` and below the domain packages (which may one day adopt
     # a fleet the way they adopt a session).
     ("fleet",),
+    # The scenario service is a network front over a session or a
+    # fleet: it builds neither graphs nor kernels, only serves them,
+    # so it sits directly above ``fleet`` and below the domain
+    # packages (a served domain consumer connects as a client).
+    ("service",),
     ("weighted", "oracles", "preservers", "replacement",
      "spanners", "labeling", "distributed"),
     # Top of the DAG: entry points and tooling may import anything.

@@ -26,6 +26,10 @@ subclasses partition errors by subsystem:
 * :class:`FleetError` — the engine fleet (:mod:`repro.fleet`) was
   misconfigured or lost a worker it could not replace (unknown
   tenant, no live workers, a reply that does not match its request).
+* :class:`ServiceError` — the scenario service (:mod:`repro.service`)
+  refused or could not serve a request (protocol version mismatch,
+  admission-control backpressure, a draining server, a malformed
+  frame).
 """
 
 from __future__ import annotations
@@ -97,6 +101,23 @@ class FleetError(ReproError):
     worker is respawned, and if that fails its shard is served by the
     in-process serial fallback — degradation is counted, not raised.
     """
+
+
+class ServiceError(ReproError):
+    """The scenario service (:mod:`repro.service`) refused a request.
+
+    Raised client-side when the server rejects a request by typed
+    reply instead of serving it: protocol version mismatch at the
+    handshake, admission-control backpressure (the client or the
+    server as a whole has too many queries in flight), a draining
+    server, or a frame that violates the wire protocol (oversized,
+    unknown codec).  Admission rejections are *load signals*, not
+    bugs: a client is expected to back off and retry.
+    """
+
+    def __init__(self, message: str, code: str = "service"):
+        super().__init__(message)
+        self.code = code
 
 
 class BackendError(ReproError):

@@ -25,6 +25,7 @@ from __future__ import annotations
 import asyncio
 import functools
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import (
     Any,
     Dict,
@@ -42,16 +43,14 @@ from repro.fleet.protocol import (
     ErrorReply,
     ExecuteReply,
     ExecuteRequest,
-    JobReply,
-    JobRequest,
-    Reply,
     ReportReply,
     TenantSpec,
     raise_reply,
 )
 from repro.fleet.registry import WorkerCapacity, WorkerRegistry
 from repro.fleet.router import Router
-from repro.query.queries import Answer, Query
+from repro.query.queries import (Answer, MidpointQuery, PreserverQuery,
+                                 Query)
 from repro.query.session import SessionStats
 from repro.scenarios.engine import CacheInfo
 
@@ -163,6 +162,11 @@ class FleetSession:
         # gathers in executor threads, and the registry's pipes and
         # in-flight book are not thread-safe.
         self._gather_lock = threading.Lock()
+        # Lazily created single-thread executor for answer_async —
+        # same rationale as Session: gathers serialize on the lock,
+        # so one worker thread is the facade's true concurrency.
+        self._async_executor: Optional[ThreadPoolExecutor] = None
+        self._async_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # the declarative surface
@@ -237,12 +241,24 @@ class FleetSession:
                            scheme: Any = None, *,
                            tenant: Optional[str] = None) -> List[Answer]:
         """Awaitable :meth:`answer`; overlapping awaits serialize on
-        the fleet's gather lock, like :meth:`Session.answer_async`."""
+        the fleet's gather lock, like :meth:`Session.answer_async`,
+        and queue on one session-owned worker thread rather than
+        occupying a default-executor thread each."""
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(
-            None, functools.partial(self.answer, list(queries), scheme,
-                                    tenant=tenant)
+            self._executor(),
+            functools.partial(self.answer, list(queries), scheme,
+                              tenant=tenant),
         )
+
+    def _executor(self) -> ThreadPoolExecutor:
+        with self._async_lock:
+            if self._async_executor is None:
+                self._async_executor = ThreadPoolExecutor(
+                    max_workers=1,
+                    thread_name_prefix="repro-fleet",
+                )
+            return self._async_executor
 
     # ------------------------------------------------------------------
     # execution
@@ -333,51 +349,46 @@ class FleetSession:
             )
 
     # ------------------------------------------------------------------
-    # batch facades outside the algebra
+    # batch facades (compatibility spellings of algebra query kinds)
     # ------------------------------------------------------------------
     def preserver_violations(self, preserver_edges: Iterable[Any],
                              sources: Iterable[int],
                              scenarios: Iterable[Iterable[Any]],
                              targets: Optional[Iterable[int]] = None, *,
                              tenant: Optional[str] = None) -> Any:
-        """Definition-4 preserver check, served by one worker (see
-        :meth:`Session.preserver_violations`)."""
-        return self._job(tenant, "preserver_violations",
-                         (tuple(tuple(e) for e in preserver_edges),
-                          tuple(sources),
-                          tuple(tuple(tuple(e) for e in s)
-                                for s in scenarios),
-                          None if targets is None else tuple(targets)))
+        """Definition-4 preserver check as a
+        :class:`~repro.query.queries.PreserverQuery` stream (one query
+        per scenario), sharded like any other gather — scenarios land
+        on workers by fault key, so the stream scales with the fleet
+        instead of pinning one worker (the pre-PR-9 ``JobRequest``
+        side channel).  Same output shape and order as
+        :meth:`Session.preserver_violations`.
+        """
+        edges = tuple(tuple(e) for e in preserver_edges)
+        srcs = tuple(sources)
+        tgts = None if targets is None else tuple(targets)
+        answers = self.answer(
+            [PreserverQuery(edges=edges, sources=srcs,
+                            faults=tuple(tuple(e) for e in sc),
+                            targets=tgts)
+             for sc in scenarios],
+            tenant=tenant,
+        )
+        return [v for a in answers for v in a.value]
 
     def midpoint_scan(self, scheme: Any, s: int, t: int,
                       faults: Iterable[Any],
                       subset: Iterable[Any] = (), *,
                       tenant: Optional[str] = None) -> Any:
-        """Midpoint restoration scan on one worker's cached tree
-        indices (see :meth:`Session.midpoint_scan`)."""
-        return self._job(tenant, "midpoint_scan",
-                         (scheme, s, t, tuple(tuple(e) for e in faults),
-                          tuple(tuple(e) for e in subset)))
-
-    def _job(self, tenant: Optional[str], method: str,
-             args: Tuple[Any, ...]) -> Any:
-        """Route a facade job to the least-loaded eligible worker."""
-        name = self._tenant(tenant)
-        with self._gather_lock:
-            self.registry.start()
-            eligible = self.registry.routing_candidates()
-            worker = min(
-                eligible,
-                key=lambda w: self.registry.capacity(w).in_flight,
-            )
-            request = JobRequest(tenant=name, method=method, args=args)
-            replies = self.registry.dispatch({worker: request})
-        reply = raise_reply(replies[worker])
-        if not isinstance(reply, JobReply):
-            raise FleetError(
-                f"worker {worker} answered job with {reply!r}"
-            )
-        return reply.value
+        """Midpoint restoration scan as a
+        :class:`~repro.query.queries.MidpointQuery` (see
+        :meth:`Session.midpoint_scan`)."""
+        answer = self.answer(
+            [MidpointQuery(s, t, faults=tuple(tuple(e) for e in faults),
+                           subset=tuple(tuple(e) for e in subset))],
+            scheme, tenant=tenant,
+        )
+        return answer[0].value
 
     # ------------------------------------------------------------------
     # merged reports
@@ -430,6 +441,10 @@ class FleetSession:
 
     def close(self) -> None:
         """Shut the workers down (idempotent)."""
+        with self._async_lock:
+            executor, self._async_executor = self._async_executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
         self.registry.close()
 
     def __enter__(self) -> "FleetSession":

@@ -8,7 +8,7 @@ query objects and a :class:`Planner` — not each caller — decides
 
 The query algebra
 -----------------
-Six frozen-dataclass query kinds, all carrying a fault set:
+Eight frozen-dataclass query kinds, all carrying a fault set:
 
 =========================  ============================================
 :class:`DistanceQuery`     ``dist_{G \\ F}(s, t)`` → ``int``
@@ -21,6 +21,10 @@ Six frozen-dataclass query kinds, all carrying a fault set:
 :class:`RestorationQuery`  Figure-1 midpoint-scan instance (needs a
                            scheme) → ``(target, result | None)`` or
                            ``None``
+:class:`PreserverQuery`    Definition-4 check of ``H ⊆ G`` under one
+                           fault set → tuple of violation tuples
+:class:`MidpointQuery`     midpoint restoration scan (needs a scheme)
+                           → the core scan's result
 =========================  ============================================
 
 The contract:
@@ -78,8 +82,10 @@ from repro.query.queries import (
     ConnectivityQuery,
     DistanceQuery,
     EccentricityQuery,
+    MidpointQuery,
     PairQuery,
     PairReport,
+    PreserverQuery,
     Provenance,
     Query,
     RestorationQuery,
@@ -92,11 +98,13 @@ __all__ = [
     "ConnectivityQuery",
     "DistanceQuery",
     "EccentricityQuery",
+    "MidpointQuery",
     "PairQuery",
     "PairReport",
     "Plan",
     "PlanGroup",
     "Planner",
+    "PreserverQuery",
     "Provenance",
     "Query",
     "QueryError",

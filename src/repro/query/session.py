@@ -10,13 +10,18 @@ A session owns one :class:`~repro.scenarios.engine.ScenarioEngine`
 * **one-shot** — :meth:`Session.answer` plans and answers an iterable
   directly (the queue is untouched);
 * **async** — :meth:`Session.answer_async` awaits the same result
-  from an :mod:`asyncio` event loop (the plan runs in the loop's
-  default executor, keeping the loop responsive — the seam the
-  ROADMAP's async service front plugs into).
+  from an :mod:`asyncio` event loop (the plan runs on the session's
+  single worker thread, keeping the loop responsive).  For a *served*
+  session — many event-loop clients sharing one backend over a socket
+  — use :meth:`repro.service.client.ServiceClient.answer_async`
+  instead, which coalesces concurrent clients' queries into shared
+  waves server-side.
 
-Batch jobs that are not (yet) part of the query algebra — the
-Definition-4 preserver check — are exposed as facade methods so
-consumers still route through one object.
+The Definition-4 preserver check and the midpoint scan remain
+available as facade methods for compatibility, but both now route
+through the typed algebra (:class:`~repro.query.queries.PreserverQuery`
+/ :class:`~repro.query.queries.MidpointQuery`), so the stats, cache
+counters, and the service wire format see one uniform query surface.
 """
 
 from __future__ import annotations
@@ -24,13 +29,15 @@ from __future__ import annotations
 import asyncio
 import functools
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.exceptions import GraphError, QueryError
 from repro.graphs.base import Edge
 from repro.query.planner import Plan, Planner
-from repro.query.queries import Answer, Query
+from repro.query.queries import (Answer, MidpointQuery, PreserverQuery,
+                                 Query)
 from repro.scenarios.engine import CacheInfo, ScenarioEngine
 
 __all__ = ["Session", "SessionStats"]
@@ -58,10 +65,22 @@ class SessionStats:
     by_worker: Dict[str, int] = field(default_factory=dict)
 
     def record(self, plan: Plan, answers: List[Answer]) -> None:
-        self.answers += len(answers)
+        self.record_answers(answers, waves=plan.waves)
+
+    def record_answers(self, answers: Iterable[Answer],
+                       waves: int = 0) -> None:
+        """Book one gather's worth of answers without a plan object.
+
+        The plan-free form exists for consumers on the far side of a
+        wire — the scenario service's per-client ledgers and
+        :class:`~repro.service.client.ServiceClient` — which hold
+        typed answers but never see the plan that produced them.
+        ``waves`` is the batch's kernel-call count (0 when unknown).
+        """
         self.gathers += 1
-        self.waves += plan.waves
+        self.waves += waves
         for a in answers:
+            self.answers += 1
             kind = a.provenance.source
             if kind == "cache":
                 self.cache += 1
@@ -162,6 +181,13 @@ class Session:
         # plans in executor threads — overlapping gathers from one
         # event loop must not interleave engine mutations.
         self._gather_lock = threading.Lock()
+        # Lazily created single-thread executor for answer_async.
+        # Gathers serialize on the lock anyway, so one worker thread
+        # is the whole truth of the session's concurrency: N pending
+        # answer_async calls queue N closures on one thread instead of
+        # parking N default-executor threads on the gather lock.
+        self._async_executor: Optional[ThreadPoolExecutor] = None
+        self._async_lock = threading.Lock()
 
     @classmethod
     def adopt(cls, graph, engine: Optional[ScenarioEngine] = None,
@@ -253,19 +279,49 @@ class Session:
 
     async def answer_async(self, queries: Iterable[Query],
                            scheme=None) -> List[Answer]:
-        """Awaitable :meth:`answer` for asyncio service fronts.
+        """Awaitable :meth:`answer` for asyncio consumers.
 
-        The plan runs in the event loop's default executor, so the
+        The plan runs on the session's own single worker thread
+        (created on first use, shut down by :meth:`close`), so the
         loop stays free to accept other work while the kernels sweep.
-        Concurrent ``answer_async`` calls on one session are safe:
-        gathers serialize on an internal lock (the engine caches are
-        shared mutable state), so overlapping awaits queue up rather
-        than corrupt counters.
+        Gathers serialize on an internal lock regardless, so one
+        worker thread *is* the session's true concurrency: N pending
+        ``answer_async`` calls queue N closures on that thread rather
+        than parking N event-loop executor threads on the lock, which
+        is what the pre-PR-9 default-executor path did.
+
+        This is the right call for a single asyncio consumer sharing
+        a process with its session.  A *served* deployment — many
+        clients, one shared backend — should use
+        :meth:`repro.service.client.ServiceClient.answer_async`,
+        which additionally coalesces concurrent clients' queries into
+        shared waves server-side.
         """
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(
-            None, functools.partial(self.answer, list(queries), scheme)
+            self._executor(),
+            functools.partial(self.answer, list(queries), scheme),
         )
+
+    def _executor(self) -> ThreadPoolExecutor:
+        with self._async_lock:
+            if self._async_executor is None:
+                self._async_executor = ThreadPoolExecutor(
+                    max_workers=1,
+                    thread_name_prefix="repro-session",
+                )
+            return self._async_executor
+
+    def close(self) -> None:
+        """Release the session's worker thread (idempotent).
+
+        Only needed when :meth:`answer_async` was used; synchronous
+        sessions hold no threads.  Pending async answers finish first.
+        """
+        with self._async_lock:
+            executor, self._async_executor = self._async_executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     def _run(self, queries: List[Query], scheme) -> List[Answer]:
         plan = self.planner.plan(queries)
@@ -277,24 +333,42 @@ class Session:
         return answers
 
     # ------------------------------------------------------------------
-    # batch facades outside the algebra
+    # batch facades (compatibility spellings of algebra query kinds)
     # ------------------------------------------------------------------
     def preserver_violations(self, preserver_edges: Iterable[Edge],
                              sources: Iterable[int],
                              scenarios: Iterable[Iterable[Edge]],
                              targets: Optional[Iterable[int]] = None
                              ) -> List[Tuple]:
-        """Definition-4 check of ``H ⊆ G`` over a scenario stream (see
-        :meth:`ScenarioEngine.preserver_violations`)."""
-        return self.engine.preserver_violations(
-            preserver_edges, sources, scenarios, targets
-        )
+        """Definition-4 check of ``H ⊆ G`` over a scenario stream.
+
+        A compatibility spelling of a
+        :class:`~repro.query.queries.PreserverQuery` stream (one query
+        per scenario); same output shape and order as
+        :meth:`ScenarioEngine.preserver_violations`.
+        """
+        edges = tuple(preserver_edges)
+        srcs = tuple(sources)
+        tgts = None if targets is None else tuple(targets)
+        answers = self.answer([
+            PreserverQuery(edges=edges, sources=srcs, faults=tuple(sc),
+                           targets=tgts)
+            for sc in scenarios
+        ])
+        return [v for a in answers for v in a.value]
 
     def midpoint_scan(self, scheme, s: int, t: int,
                       faults: Iterable[Edge], subset: Iterable[Edge] = ()):
         """Midpoint restoration scan with the engine's cached tree
-        indices (see :meth:`ScenarioEngine.midpoint_scan`)."""
-        return self.engine.midpoint_scan(scheme, s, t, faults, subset)
+        indices — a compatibility spelling of a
+        :class:`~repro.query.queries.MidpointQuery` (see
+        :meth:`ScenarioEngine.midpoint_scan` for semantics)."""
+        answer = self.answer_one(
+            MidpointQuery(s, t, faults=tuple(faults),
+                          subset=tuple(subset)),
+            scheme=scheme,
+        )
+        return answer.value
 
     # ------------------------------------------------------------------
     def cache_info(self) -> CacheInfo:

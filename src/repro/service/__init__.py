@@ -1,0 +1,63 @@
+"""Scenario service: a network front over one shared session backend.
+
+The paper's workload — many queries against many fault sets over one
+base graph — is exactly the shape a shared service amortises:
+individual clients are bursty, the aggregate is smooth, and
+concurrent clients asking about the *same failure* should cost one
+masked wave, not one each.  This package is that front:
+
+* :mod:`~repro.service.protocol` — the framed, versioned JSON/pickle
+  wire format (one dict-with-``type`` message per length-prefixed
+  frame, handshake-enforced :data:`~repro.service.protocol.PROTOCOL_VERSION`).
+* :class:`~repro.service.coalescer.Coalescer` — rolling micro-batches
+  (flush on size or a few-ms deadline) that merge every connection's
+  queries into one backend gather, where the planner's canonical
+  fault-set grouping turns cross-client duplicates into shared waves;
+  each answer's provenance carries the ``coalesced`` head-count.
+* :class:`~repro.service.server.ScenarioServer` — the asyncio server:
+  admission control (per-client and global in-flight weights, typed
+  ``admission`` backpressure replies), graceful drain, ``epoch`` push
+  notifications to subscribed clients when a tenant graph changes.
+* :class:`~repro.service.client.ServiceClient` /
+  :class:`~repro.service.client.AsyncServiceClient` — the session
+  dialect (submit/gather/answer/answer_one, stats, cache_info) over
+  the wire, sync and native-asyncio.
+* :class:`~repro.service.background.BackgroundServer` — the server on
+  a daemon thread, for synchronous callers and tests.
+
+The backend is any session: an in-process
+:class:`~repro.query.session.Session` or a sharded
+:class:`~repro.fleet.session.FleetSession` — the service is the seam
+that later turns fleet workers into socket-connected machines.
+
+CLI: ``repro serve`` runs a server; ``repro query --connect
+HOST:PORT`` drives the standard query stream through it.
+
+Example
+-------
+>>> from repro.graphs import generators
+>>> from repro.query import DistanceQuery, Session
+>>> from repro.service import BackgroundServer, ServiceClient
+>>> with BackgroundServer(Session(generators.grid(4, 4))) as server:
+...     with ServiceClient(*server.address) as client:
+...         client.answer_one(DistanceQuery(0, 15, [(0, 1)])).value
+6
+"""
+
+from repro.exceptions import ServiceError
+from repro.service.background import BackgroundServer
+from repro.service.client import AsyncServiceClient, ServiceClient
+from repro.service.coalescer import Coalescer, Ticket
+from repro.service.protocol import PROTOCOL_VERSION
+from repro.service.server import ScenarioServer
+
+__all__ = [
+    "AsyncServiceClient",
+    "BackgroundServer",
+    "Coalescer",
+    "PROTOCOL_VERSION",
+    "ScenarioServer",
+    "ServiceClient",
+    "ServiceError",
+    "Ticket",
+]

@@ -1,0 +1,493 @@
+""":class:`ServiceClient` — the session dialect, spoken over a socket.
+
+Two surfaces over the same wire protocol:
+
+* :class:`ServiceClient` — blocking sockets, the exact
+  submit/gather/answer/answer_one dialect of
+  :class:`~repro.query.session.Session`, plus an
+  :meth:`ServiceClient.answer_async` coroutine (the request runs on
+  the client's single worker thread, mirroring the session's own
+  async seam).  This is the drop-in: code written against a session
+  runs against a served backend by swapping the constructor.
+* :class:`AsyncServiceClient` — native asyncio streams for callers
+  already living on an event loop; ``await connect(...)`` then
+  ``await answer(...)``.
+
+Both keep a client-side :class:`~repro.query.session.SessionStats`
+ledger (fed by
+:meth:`~repro.query.session.SessionStats.record_answers`), track
+``epoch`` pushes from the server in :attr:`epochs`, and re-raise
+typed error replies through
+:func:`~repro.service.protocol.raise_error_reply` — so a malformed
+stream surfaces as the same
+:class:`~repro.exceptions.QueryError` an in-process session raises,
+and backpressure surfaces as
+:class:`~repro.exceptions.ServiceError` with a machine-readable
+``code`` (``admission``, ``draining``, ``version``, ...).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import itertools
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.exceptions import QueryError, ServiceError
+from repro.query.queries import (
+    Answer,
+    MidpointQuery,
+    PreserverQuery,
+    Query,
+)
+from repro.query.session import SessionStats
+from repro.scenarios.engine import CacheInfo
+from repro.service import protocol
+from repro.service.protocol import Message
+
+__all__ = ["ServiceClient", "AsyncServiceClient"]
+
+
+def _stage(queries: Tuple[Any, ...]) -> List[Query]:
+    """The session's all-or-nothing submit staging, shared verbatim."""
+    staged: List[Query] = []
+    for q in queries:
+        if isinstance(q, Query):
+            staged.append(q)
+            continue
+        try:
+            items = iter(q)
+        except TypeError:
+            raise QueryError(
+                f"submit() takes queries or iterables of "
+                f"queries, got {q!r}"
+            ) from None
+        staged.extend(items)
+    return staged
+
+
+class ServiceClient:
+    """Blocking client for a :class:`~repro.service.server.ScenarioServer`.
+
+    Parameters
+    ----------
+    host, port:
+        The server's bound address.
+    client:
+        Name sent in the handshake; shows up in server-side admission
+        messages.  Defaults to ``host:port`` of the local socket.
+    tenant:
+        Tenant this client's streams answer against (``None`` = the
+        server's first tenant).
+    scheme:
+        Default restoration scheme, like ``Session(scheme=...)`` —
+        pickled to the server with each request that needs it.
+    timeout:
+        Socket timeout in seconds (``None`` = block forever; waves on
+        big graphs can be slow, so the default is patient).
+    """
+
+    def __init__(self, host: str, port: int, *,
+                 client: Optional[str] = None,
+                 tenant: Optional[str] = None,
+                 scheme: Any = None,
+                 timeout: Optional[float] = None) -> None:
+        self.scheme = scheme
+        self.tenant = tenant
+        self.stats = SessionStats()
+        self.epochs: Dict[str, int] = {}
+        self._pending: List[Query] = []
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._async_executor: Optional[ThreadPoolExecutor] = None
+        self._sock: Optional[socket.socket] = socket.create_connection(
+            (host, port), timeout)
+        name = client or "{}:{}".format(
+            *self._sock.getsockname()[:2])
+        self.name = name
+        try:
+            protocol.send_message(self._sock, {
+                "type": "hello",
+                "version": protocol.PROTOCOL_VERSION,
+                "client": name,
+            })
+            welcome = protocol.recv_message(self._sock)
+        except Exception:
+            self._sock.close()
+            self._sock = None
+            raise
+        if welcome.get("type") == "error":
+            self._sock.close()
+            self._sock = None
+            protocol.raise_error_reply(welcome)
+        self.server = str(welcome.get("server", ""))
+        self.tenants: Tuple[str, ...] = tuple(
+            welcome.get("tenants", ()))
+        self.limits: Dict[str, int] = dict(welcome.get("limits", {}))
+        self.max_frame = int(
+            self.limits.get("max_frame", protocol.DEFAULT_MAX_FRAME))
+
+    # ------------------------------------------------------------------
+    # the session dialect
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Queries submitted but not yet gathered (client-side queue)."""
+        return len(self._pending)
+
+    def submit(self, *queries: Any) -> "ServiceClient":
+        """Queue queries for the next :meth:`gather` — the
+        :meth:`~repro.query.session.Session.submit` contract."""
+        self._pending.extend(_stage(queries))
+        return self
+
+    def gather(self, scheme: Any = None) -> List[Answer]:
+        batch, self._pending = self._pending, []
+        return self._answer(batch, scheme)
+
+    def answer(self, queries: Iterable[Query],
+               scheme: Any = None) -> List[Answer]:
+        return self._answer(list(queries), scheme)
+
+    def answer_one(self, query: Query, scheme: Any = None) -> Answer:
+        return self._answer([query], scheme)[0]
+
+    async def answer_async(self, queries: Iterable[Query],
+                           scheme: Any = None) -> List[Answer]:
+        """Awaitable :meth:`answer` — the service-grade replacement
+        for :meth:`Session.answer_async`.
+
+        The request runs on the client's single worker thread (the
+        socket dialog is serialized anyway), so N concurrent awaits
+        queue N requests instead of holding N threads — and the
+        *server* coalesces concurrent clients' queries into shared
+        waves, which no in-process ``answer_async`` can do.
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor(),
+            functools.partial(self._answer, list(queries), scheme),
+        )
+
+    def _answer(self, queries: List[Query],
+                scheme: Any) -> List[Answer]:
+        for q in queries:
+            if not isinstance(q, Query) or type(q) is Query:
+                raise QueryError(
+                    f"not a query object: {q!r} (use the typed query "
+                    f"classes from repro.query)"
+                )
+        message: Message = {
+            "type": "answer",
+            "id": next(self._ids),
+            "queries": queries,
+            "scheme": scheme if scheme is not None else self.scheme,
+            "tenant": self.tenant,
+        }
+        reply = self._request(message)
+        answers = list(reply["answers"])
+        self.stats.record_answers(answers)
+        return answers
+
+    # ------------------------------------------------------------------
+    # domain facades — compatibility spellings over the typed algebra,
+    # identical to Session's so the dialect swap stays drop-in
+    # ------------------------------------------------------------------
+    def preserver_violations(
+        self, preserver_edges: Iterable[Tuple[int, int]],
+        sources: Iterable[int],
+        scenarios: Iterable[Iterable[Tuple[int, int]]],
+        targets: Optional[Iterable[int]] = None,
+    ) -> List[Tuple[Any, ...]]:
+        edges = tuple(preserver_edges)
+        srcs = tuple(sources)
+        tgts = None if targets is None else tuple(targets)
+        answers = self.answer([
+            PreserverQuery(edges=edges, sources=srcs,
+                           faults=tuple(sc), targets=tgts)
+            for sc in scenarios
+        ])
+        return [v for a in answers for v in a.value]
+
+    def midpoint_scan(self, scheme: Any, s: int, t: int,
+                      faults: Iterable[Tuple[int, int]],
+                      subset: Iterable[int] = ()) -> Any:
+        return self.answer_one(
+            MidpointQuery(s, t, faults=tuple(faults),
+                          subset=tuple(subset)),
+            scheme=scheme,
+        ).value
+
+    # ------------------------------------------------------------------
+    # service extras
+    # ------------------------------------------------------------------
+    def subscribe(self) -> Dict[str, int]:
+        """Subscribe to epoch pushes; returns the current epochs."""
+        reply = self._request({"type": "subscribe",
+                               "id": next(self._ids)})
+        self.epochs.update(reply.get("epochs", {}))
+        return dict(self.epochs)
+
+    def server_stats(self) -> Message:
+        """The server's view of this client: per-client
+        :class:`SessionStats` (``"client"``), backend
+        :class:`CacheInfo` (``"cache"``), and JSON server counters
+        (``"server"``: batches, coalesced queries, rejections...)."""
+        return self._request({"type": "stats", "id": next(self._ids)})
+
+    def cache_info(self) -> CacheInfo:
+        """The shared backend's cache counters (server-side view)."""
+        info = self.server_stats()["cache"]
+        assert isinstance(info, CacheInfo)
+        return info
+
+    def poll_pushes(self, timeout: float = 0.0) -> Dict[str, int]:
+        """Drain queued epoch pushes without sending a request.
+
+        Waits up to ``timeout`` seconds for at least one frame; a
+        timeout just returns the epochs seen so far.
+        """
+        sock = self._require_sock()
+        old = sock.gettimeout()
+        sock.settimeout(max(timeout, 1e-3))
+        try:
+            while True:
+                reply = protocol.recv_message(sock, self.max_frame)
+                self._absorb_push(reply)
+        except socket.timeout:
+            pass
+        finally:
+            sock.settimeout(old)
+        return dict(self.epochs)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _request(self, message: Message) -> Message:
+        """One request/reply dialog; pushes absorbed along the way."""
+        sock = self._require_sock()
+        with self._lock:
+            protocol.send_message(sock, message, self.max_frame)
+            while True:
+                reply = protocol.recv_message(sock, self.max_frame)
+                if self._absorb_push(reply):
+                    continue
+                if reply.get("type") == "error":
+                    protocol.raise_error_reply(reply)
+                if reply.get("id") != message["id"]:
+                    raise ServiceError(
+                        f"reply {reply.get('id')!r} does not answer "
+                        f"request {message['id']!r}", code="protocol",
+                    )
+                return reply
+
+    def _absorb_push(self, reply: Message) -> bool:
+        if reply.get("type") == "epoch":
+            self.epochs[str(reply["tenant"])] = int(reply["epoch"])
+            return True
+        return False
+
+    def _require_sock(self) -> socket.socket:
+        if self._sock is None:
+            raise ServiceError("client is closed", code="closed")
+        return self._sock
+
+    def _executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._async_executor is None:
+                self._async_executor = ThreadPoolExecutor(
+                    max_workers=1,
+                    thread_name_prefix="repro-client",
+                )
+            return self._async_executor
+
+    def close(self) -> None:
+        """Say goodbye and release the socket (idempotent)."""
+        sock, self._sock = self._sock, None
+        executor, self._async_executor = self._async_executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+        if sock is None:
+            return
+        try:
+            protocol.send_message(sock, {"type": "goodbye",
+                                         "id": next(self._ids)})
+        except Exception:
+            pass
+        finally:
+            sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        st = self.stats
+        state = "closed" if self._sock is None else "connected"
+        return (
+            f"ServiceClient(name={self.name!r}, server="
+            f"{self.server!r}, {state}, answers={st.answers} "
+            f"({st.cache}c/{st.filter}f/{st.delta}d/{st.wave}w), "
+            f"pending={len(self._pending)})"
+        )
+
+
+class AsyncServiceClient:
+    """Native-asyncio client: the same dialect, awaited.
+
+    Build with ``await AsyncServiceClient.connect(host, port)``;
+    requests serialize on an internal asyncio lock (one socket, one
+    dialog at a time) while the event loop stays free.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, *,
+                 welcome: Message, name: str,
+                 tenant: Optional[str], scheme: Any) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.name = name
+        self.tenant = tenant
+        self.scheme = scheme
+        self.stats = SessionStats()
+        self.epochs: Dict[str, int] = {}
+        self._pending: List[Query] = []
+        self._ids = itertools.count(1)
+        self._lock = asyncio.Lock()
+        self.server = str(welcome.get("server", ""))
+        self.tenants: Tuple[str, ...] = tuple(
+            welcome.get("tenants", ()))
+        self.limits: Dict[str, int] = dict(welcome.get("limits", {}))
+        self.max_frame = int(
+            self.limits.get("max_frame", protocol.DEFAULT_MAX_FRAME))
+
+    @classmethod
+    async def connect(cls, host: str, port: int, *,
+                      client: Optional[str] = None,
+                      tenant: Optional[str] = None,
+                      scheme: Any = None) -> "AsyncServiceClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        name = client or "{}:{}".format(
+            *writer.get_extra_info("sockname")[:2])
+        writer.write(protocol.encode_message({
+            "type": "hello",
+            "version": protocol.PROTOCOL_VERSION,
+            "client": name,
+        }))
+        await writer.drain()
+        welcome = await protocol.read_message(reader)
+        if welcome.get("type") == "error":
+            writer.close()
+            protocol.raise_error_reply(welcome)
+        return cls(reader, writer, welcome=welcome, name=name,
+                   tenant=tenant, scheme=scheme)
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def submit(self, *queries: Any) -> "AsyncServiceClient":
+        self._pending.extend(_stage(queries))
+        return self
+
+    async def gather(self, scheme: Any = None) -> List[Answer]:
+        batch, self._pending = self._pending, []
+        return await self._answer(batch, scheme)
+
+    async def answer(self, queries: Iterable[Query],
+                     scheme: Any = None) -> List[Answer]:
+        return await self._answer(list(queries), scheme)
+
+    # The canonical name answer_async is an alias of answer — both
+    # surfaces expose it so swapping ServiceClient in and out of
+    # asyncio code never renames the call site.
+    async def answer_async(self, queries: Iterable[Query],
+                           scheme: Any = None) -> List[Answer]:
+        return await self._answer(list(queries), scheme)
+
+    async def answer_one(self, query: Query,
+                         scheme: Any = None) -> Answer:
+        return (await self._answer([query], scheme))[0]
+
+    async def subscribe(self) -> Dict[str, int]:
+        reply = await self._request({"type": "subscribe",
+                                     "id": next(self._ids)})
+        self.epochs.update(reply.get("epochs", {}))
+        return dict(self.epochs)
+
+    async def server_stats(self) -> Message:
+        return await self._request({"type": "stats",
+                                    "id": next(self._ids)})
+
+    async def cache_info(self) -> CacheInfo:
+        info = (await self.server_stats())["cache"]
+        assert isinstance(info, CacheInfo)
+        return info
+
+    # ------------------------------------------------------------------
+    async def _answer(self, queries: List[Query],
+                      scheme: Any) -> List[Answer]:
+        message: Message = {
+            "type": "answer",
+            "id": next(self._ids),
+            "queries": queries,
+            "scheme": scheme if scheme is not None else self.scheme,
+            "tenant": self.tenant,
+        }
+        reply = await self._request(message)
+        answers = list(reply["answers"])
+        self.stats.record_answers(answers)
+        return answers
+
+    async def _request(self, message: Message) -> Message:
+        async with self._lock:
+            self._writer.write(
+                protocol.encode_message(message, self.max_frame))
+            await self._writer.drain()
+            while True:
+                reply = await protocol.read_message(
+                    self._reader, self.max_frame)
+                if reply.get("type") == "epoch":
+                    self.epochs[str(reply["tenant"])] = int(
+                        reply["epoch"])
+                    continue
+                if reply.get("type") == "error":
+                    protocol.raise_error_reply(reply)
+                if reply.get("id") != message["id"]:
+                    raise ServiceError(
+                        f"reply {reply.get('id')!r} does not answer "
+                        f"request {message['id']!r}",
+                        code="protocol",
+                    )
+                return reply
+
+    async def close(self) -> None:
+        if self._writer.is_closing():
+            return
+        try:
+            self._writer.write(protocol.encode_message(
+                {"type": "goodbye", "id": next(self._ids)}))
+            await self._writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass
+        self._writer.close()
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    def __repr__(self) -> str:
+        st = self.stats
+        return (
+            f"AsyncServiceClient(name={self.name!r}, "
+            f"server={self.server!r}, answers={st.answers}, "
+            f"pending={len(self._pending)})"
+        )

@@ -1,0 +1,246 @@
+"""Cross-client wave coalescing: rolling micro-batches over one backend.
+
+The service's reason to exist: the paper's workload is *many queries
+against many fault sets over one base graph*, and concurrent clients
+asking about the same failure should cost one masked wave, not N.
+The :class:`Coalescer` makes that happen without touching the
+planner: it admits every connection's queries into one rolling
+micro-batch (flushed on size or a few-ms deadline), hands the merged
+batch to the shared backend session — whose planner already groups by
+canonical fault set, so queries from different clients sharing a
+fault set ride one wave — and then demultiplexes the answers back to
+each :class:`Ticket` in submission order.
+
+Each answer's :class:`~repro.query.queries.Provenance` is stamped
+with ``coalesced``: how many queries across the whole flushed batch
+shared its canonical fault set.  A value above 1 is the service
+paying one wave for several clients.
+
+Isolation: one client's malformed stream must not poison a merged
+batch.  When a multi-ticket batch fails with a
+:class:`~repro.exceptions.ReproError`, every ticket is re-answered
+alone, so exactly the guilty tickets see the error and the innocent
+ones still get answers (they lose this batch's coalescing, nothing
+else).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+from collections import Counter, OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.exceptions import ReproError
+from repro.query.queries import Answer, Query
+
+__all__ = ["Coalescer", "Ticket"]
+
+#: A blocking backend call: (queries, scheme, tenant) -> answers.
+AnswerFn = Callable[[List[Query], Any, str], List[Answer]]
+
+
+@dataclass
+class Ticket:
+    """One connection's admitted sub-batch, awaiting its answers."""
+
+    queries: List[Query]
+    scheme: Any
+    tenant: str
+    future: "asyncio.Future[List[Answer]]" = field(repr=False)
+
+
+def _stamp(answers: List[Answer],
+           counts: "Counter[Any]") -> List[Answer]:
+    """Return answers with ``provenance.coalesced`` set from counts."""
+    return [
+        replace(a, provenance=replace(
+            a.provenance, coalesced=counts[a.query.fault_key]))
+        for a in answers
+    ]
+
+
+class Coalescer:
+    """Admit tickets into rolling micro-batches over one backend.
+
+    Parameters
+    ----------
+    answer_fn:
+        The blocking backend call ``(queries, scheme, tenant) ->
+        answers``.  It runs on the coalescer's single worker thread —
+        the backend session serializes gathers anyway, so one thread
+        is the true concurrency and the event loop never blocks on a
+        wave.
+    max_batch:
+        Flush as soon as the pending micro-batch holds this many
+        queries (counting queries, not tickets — admission control
+        upstream bounds both).
+    max_delay:
+        Flush at most this many seconds after the first pending
+        ticket arrived, so a lone client's latency is bounded even
+        when nobody else shows up to share its wave.
+
+    All entry points must be called on the owning event loop.
+    """
+
+    def __init__(self, answer_fn: AnswerFn, *,
+                 max_batch: int = 64,
+                 max_delay: float = 0.002) -> None:
+        self._answer_fn = answer_fn
+        self.max_batch = max(1, int(max_batch))
+        self.max_delay = float(max_delay)
+        self._pending: List[Ticket] = []
+        self._pending_queries = 0
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._tasks: Set["asyncio.Task[None]"] = set()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-coalescer",
+        )
+        #: Micro-batches flushed so far.
+        self.batches = 0
+        #: Queries answered through flushed batches.
+        self.flushed_queries = 0
+        #: Queries that shared their batch's fault set with another
+        #: query (i.e. answers stamped ``coalesced > 1``).
+        self.coalesced_queries = 0
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def submit(self, ticket: Ticket) -> None:
+        """Admit one ticket; flush on size, else arm the deadline."""
+        self._pending.append(ticket)
+        self._pending_queries += len(ticket.queries)
+        if self._pending_queries >= self.max_batch:
+            self.flush()
+        elif self._timer is None:
+            loop = asyncio.get_running_loop()
+            self._timer = loop.call_later(self.max_delay, self._deadline)
+
+    def _deadline(self) -> None:
+        self._timer = None
+        self.flush()
+
+    def flush(self) -> None:
+        """Flush the pending micro-batch now (no-op when empty)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        batch, self._pending = self._pending, []
+        self._pending_queries = 0
+        if not batch:
+            return
+        self.batches += 1
+        task = asyncio.get_running_loop().create_task(
+            self._run_batch(batch))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    async def _run_batch(self, batch: List[Ticket]) -> None:
+        """Group one flushed batch, answer each group, demultiplex.
+
+        Groups split by ``(tenant, scheme)``: tenants answer over
+        different graphs, and two different schemes cannot share a
+        restoration pass.  Scheme equality is byte equality of its
+        pickle — the form it crossed the wire in — so two clients
+        sending the same scheme coalesce.
+        """
+        groups: "OrderedDict[Tuple[str, Optional[bytes]], List[Ticket]]"
+        groups = OrderedDict()
+        for ticket in batch:
+            scheme_key = (None if ticket.scheme is None else
+                          pickle.dumps(ticket.scheme,
+                                       protocol=pickle.HIGHEST_PROTOCOL))
+            groups.setdefault((ticket.tenant, scheme_key),
+                              []).append(ticket)
+        for (tenant, _), tickets in groups.items():
+            await self._run_group(tenant, tickets)
+
+    async def _run_group(self, tenant: str,
+                         tickets: List[Ticket]) -> None:
+        queries = [q for t in tickets for q in t.queries]
+        scheme = tickets[0].scheme
+        counts: "Counter[Any]" = Counter(q.fault_key for q in queries)
+        try:
+            answers = await self._call(queries, scheme, tenant)
+        except ReproError:
+            # A merged batch failed: isolate the guilty ticket(s) by
+            # re-answering each alone, so one client's malformed
+            # stream cannot fail its batch-mates (a lone ticket just
+            # gets its own error back).
+            await self._retry_alone(tenant, tickets)
+            return
+        except Exception as exc:  # backend bug — fail every waiter
+            for ticket in tickets:
+                if not ticket.future.done():
+                    ticket.future.set_exception(exc)
+            return
+        self.flushed_queries += len(queries)
+        self.coalesced_queries += sum(
+            1 for q in queries if counts[q.fault_key] > 1)
+        answers = _stamp(answers, counts)
+        cursor = 0
+        for ticket in tickets:
+            chunk = answers[cursor:cursor + len(ticket.queries)]
+            cursor += len(ticket.queries)
+            if not ticket.future.done():
+                ticket.future.set_result(chunk)
+
+    async def _retry_alone(self, tenant: str,
+                           tickets: List[Ticket]) -> None:
+        for ticket in tickets:
+            counts: "Counter[Any]" = Counter(
+                q.fault_key for q in ticket.queries)
+            try:
+                answers = await self._call(
+                    ticket.queries, ticket.scheme, tenant)
+            except Exception as exc:
+                if not ticket.future.done():
+                    ticket.future.set_exception(exc)
+                continue
+            self.flushed_queries += len(ticket.queries)
+            if not ticket.future.done():
+                ticket.future.set_result(_stamp(answers, counts))
+
+    async def _call(self, queries: List[Query], scheme: Any,
+                    tenant: str) -> List[Answer]:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor,
+            lambda: self._answer_fn(queries, scheme, tenant),
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def drain(self) -> None:
+        """Flush pending work and wait for every in-flight batch."""
+        self.flush()
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks),
+                                 return_exceptions=True)
+
+    def close(self) -> None:
+        """Release the worker thread (idempotent; after :meth:`drain`)."""
+        self._executor.shutdown(wait=False)
+
+    def counters(self) -> Dict[str, int]:
+        """JSON-able snapshot of the coalescing counters."""
+        return {
+            "batches": self.batches,
+            "flushed_queries": self.flushed_queries,
+            "coalesced_queries": self.coalesced_queries,
+        }

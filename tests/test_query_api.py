@@ -154,9 +154,17 @@ class TestPlannerValidation:
         wg.add_edge(1, 2, 3)
         with pytest.raises(QueryError, match="weighted"):
             Session(wg).answer([RestorationQuery(0, 2, ((0, 1),))])
-        other = generators.grid(4, 4)
+        # A structurally equal copy of the scheme's graph is fine —
+        # that is exactly what a scheme looks like after crossing a
+        # pickle boundary (fleet shard, service payload)...
+        copy = generators.grid(4, 4)
+        answered = Session(copy).answer([q], scheme=grid_scheme)
+        assert len(answered) == 1
+        # ...but a genuinely different graph still raises.
+        other = generators.torus(4, 4)
+        qo = RestorationQuery(0, 15, (next(iter(other.edges())),))
         with pytest.raises(QueryError, match="same base graph"):
-            Session(other).answer([q], scheme=grid_scheme)
+            Session(other).answer([qo], scheme=grid_scheme)
 
     def test_session_graph_engine_mismatch(self, grid4, torus4):
         engine = _quiet_engine(torus4)
@@ -376,21 +384,30 @@ class TestTargetSideBatching:
         assert plan.groups[0].side == "source"
 
 
-@pytest.fixture(params=["local", "fleet-1", "fleet-2"])
+@pytest.fixture(params=["local", "fleet-1", "fleet-2", "service"])
 def make_session(request):
     """A session factory covering every `Session`-shaped surface.
 
     ``local`` builds the in-process :class:`Session`; ``fleet-N``
     builds a :class:`repro.fleet.FleetSession` over N worker
-    processes.  The facade tests parametrised over this fixture *are*
-    the fleet's conformance suite: whatever the local session answers,
-    a sharded fleet must answer identically.
+    processes; ``service`` serves a local session through a
+    :class:`repro.service.BackgroundServer` and hands back the
+    blocking :class:`repro.service.ServiceClient`.  The facade tests
+    parametrised over this fixture *are* the conformance suite for
+    the session dialect: whatever the local session answers, a
+    sharded fleet and a served client must answer identically.
     """
     built = []
 
     def build(graph):
         if request.param == "local":
             session = Session(graph)
+        elif request.param == "service":
+            from repro.service import BackgroundServer, ServiceClient
+
+            server = BackgroundServer(Session(graph))
+            built.append(server)
+            session = ServiceClient(*server.address)
         else:
             from repro.fleet import FleetSession
 
@@ -400,7 +417,8 @@ def make_session(request):
         return session
 
     yield build
-    for session in built:
+    # clients before their servers: built in server-then-client order
+    for session in reversed(built):
         closer = getattr(session, "close", None)
         if closer is not None:
             closer()
@@ -434,6 +452,33 @@ class TestSessionFacade:
 
         (a,) = asyncio.run(go())
         assert a.value == 6
+
+    def test_answer_async_uses_one_private_worker(self, grid4):
+        """Concurrent awaits must not burn a default-executor thread
+        each: the session owns one lazily-built single worker (gathers
+        serialize on the planner lock anyway, so one thread *is* the
+        true concurrency), and close() releases it."""
+        session = Session(grid4)
+
+        async def go():
+            answers = await asyncio.gather(*[
+                session.answer_async([DistanceQuery(0, 15, [(0, 1)])])
+                for _ in range(4)
+            ])
+            loop = asyncio.get_running_loop()
+            # the event loop's shared default executor stayed unused
+            assert getattr(loop, "_default_executor", None) is None
+            return answers
+
+        results = asyncio.run(go())
+        assert [a.value for (a,) in results] == [6] * 4
+        executor = session._executor()
+        assert executor is session._executor()  # one, cached
+        assert executor._max_workers == 1
+        assert all(t.name.startswith("repro-session")
+                   for t in executor._threads)
+        session.close()
+        assert session._async_executor is None
 
     def test_adopts_existing_engine(self, grid4):
         engine = _quiet_engine(grid4)
@@ -474,7 +519,8 @@ class TestSessionFacade:
         session = make_session(grid4)
         session.answer([DistanceQuery(0, 15, [(0, 1)])])
         assert session.stats.answers == 1
-        assert "Session(" in repr(session)
+        # Session / FleetSession / ServiceClient each name themselves
+        assert "Session(" in repr(session) or "Client(" in repr(session)
 
     def test_deprecated_engine_methods_still_work_and_warn(self, grid4):
         engine = _quiet_engine(grid4)

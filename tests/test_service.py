@@ -1,0 +1,316 @@
+"""Tests for the scenario service (repro.service).
+
+Covers the framed protocol (version handshake, frame limits, typed
+error replies), the coalescer contract (two clients' concurrent
+queries on one fault set ride one wave, pinned via CacheInfo and the
+``coalesced`` provenance), admission-control backpressure, ticket
+isolation (one client's malformed stream cannot poison batch-mates),
+disconnect resilience, graceful drain, and epoch pushes.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.exceptions import QueryError, ServiceError
+from repro.graphs import generators
+from repro.query import DistanceQuery, Session, VectorQuery
+from repro.service import (
+    AsyncServiceClient,
+    BackgroundServer,
+    ServiceClient,
+)
+from repro.service import protocol
+
+
+def _wave_calls(info):
+    return sum(count for _, count in info.wave_backends)
+
+
+@pytest.fixture()
+def served(er_medium):
+    """A coalescing server over one shared delta-free session.
+
+    ``delta=False`` so vector queries are served by waves and the
+    wave-count assertions are exact; ``max_batch=2`` with a generous
+    deadline so two concurrent single-query requests flush the moment
+    both arrive (the deadline is only the straggler backstop).
+    """
+    backend = Session(er_medium, delta=False)
+    with BackgroundServer(backend, max_batch=2,
+                          max_delay=0.25) as server:
+        yield server, backend
+
+
+def _connect(server, **kwargs):
+    return ServiceClient(*server.address, **kwargs)
+
+
+def _concurrently(*calls):
+    """Run one-call-per-thread behind a shared start barrier,
+    re-raising the first failure; returns results in call order."""
+    barrier = threading.Barrier(len(calls))
+    results = [None] * len(calls)
+    errors = []
+
+    def run(i, call):
+        try:
+            barrier.wait()
+            results[i] = call()
+        except BaseException as exc:  # noqa: BLE001 — re-raised below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(i, call))
+               for i, call in enumerate(calls)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+    return results
+
+
+class TestProtocol:
+    def test_version_mismatch_is_refused(self, served):
+        server, _ = served
+        sock = socket.create_connection(server.address)
+        try:
+            protocol.send_message(sock, {
+                "type": "hello", "version": 999, "client": "relic",
+            })
+            reply = protocol.recv_message(sock)
+        finally:
+            sock.close()
+        assert reply["type"] == "error" and reply["code"] == "version"
+        with pytest.raises(ServiceError) as info:
+            protocol.raise_error_reply(reply)
+        assert info.value.code == "version"
+
+    def test_client_constructor_surfaces_version_error(self, served,
+                                                       monkeypatch):
+        server, _ = served
+        real = protocol.send_message
+
+        def skewed_hello(sock, message,
+                         max_frame=protocol.DEFAULT_MAX_FRAME):
+            if message.get("type") == "hello":
+                message = dict(message, version=999)
+            return real(sock, message, max_frame)
+
+        monkeypatch.setattr(protocol, "send_message", skewed_hello)
+        # A mismatched client must raise at connect, not hang.
+        with pytest.raises(ServiceError) as info:
+            _connect(server)
+        assert info.value.code == "version"
+
+    def test_frame_limit_enforced_before_send(self):
+        big = {"type": "blob", "payload": "x" * 4096}
+        with pytest.raises(ServiceError) as info:
+            protocol.encode_message(big, max_frame=64)
+        assert info.value.code == "frame"
+
+    def test_error_reply_reraises_typed_exceptions(self):
+        reply = {"type": "error", "code": "query",
+                 "exc_type": "QueryError", "message": "bad vertex"}
+        with pytest.raises(QueryError, match="bad vertex"):
+            protocol.raise_error_reply(reply)
+        reply = {"type": "error", "code": "admission",
+                 "message": "back off"}
+        with pytest.raises(ServiceError, match="back off") as info:
+            protocol.raise_error_reply(reply)
+        assert info.value.code == "admission"
+
+
+class TestRoundTrip:
+    def test_answers_match_in_process_session(self, served, er_medium):
+        server, _ = served
+        e = next(iter(er_medium.edges()))
+        queries = [DistanceQuery(0, er_medium.n - 1, (e,)),
+                   VectorQuery(1, (e,))]
+        with _connect(server, client="rt") as client:
+            assert client.server == "scenario-service"
+            assert client.tenants == ("default",)
+            answers = client.answer(queries)
+            assert client.stats.answers == 2
+        reference = Session(er_medium, delta=False).answer(queries)
+        assert [a.value for a in answers] == [
+            a.value for a in reference]
+        # provenance objects survive the wire intact
+        assert answers[1].provenance.kernel == (
+            reference[1].provenance.kernel)
+
+    def test_submit_gather_dialect(self, served):
+        server, _ = served
+        with _connect(server) as client:
+            client.submit(DistanceQuery(0, 5))
+            client.submit([VectorQuery(1)])
+            assert client.pending == 2
+            answers = client.gather()
+            assert client.pending == 0
+            assert len(answers) == 2
+
+    def test_async_client_round_trip(self, served, er_medium):
+        import asyncio
+
+        server, _ = served
+
+        async def go():
+            host, port = server.address
+            async with await AsyncServiceClient.connect(
+                    host, port, client="aio") as client:
+                a = await client.answer_one(
+                    DistanceQuery(0, er_medium.n - 1))
+                return a.value
+
+        expected = Session(er_medium).answer_one(
+            DistanceQuery(0, er_medium.n - 1)).value
+        assert asyncio.run(go()) == expected
+
+    def test_closed_client_raises_typed(self, served):
+        server, _ = served
+        client = _connect(server)
+        client.close()
+        client.close()  # idempotent
+        with pytest.raises(ServiceError) as info:
+            client.answer([DistanceQuery(0, 1)])
+        assert info.value.code == "closed"
+
+
+class TestCoalescing:
+    def test_two_clients_ride_one_wave(self, served, er_medium):
+        server, backend = served
+        e = next(iter(er_medium.edges()))
+        waves_before = _wave_calls(backend.cache_info())
+        with _connect(server, client="a") as a, \
+                _connect(server, client="b") as b:
+            got_a, got_b = _concurrently(
+                lambda: a.answer([VectorQuery(0, (e,))]),
+                lambda: b.answer([VectorQuery(1, (e,))]),
+            )
+            info = a.cache_info()
+        # one micro-batch, one fault-set group, ONE masked wave for
+        # both clients — the coalescing contract
+        assert _wave_calls(info) - waves_before == 1
+        for (answer,) in (got_a, got_b):
+            assert answer.waved
+            assert answer.provenance.wave_size == 2
+            assert answer.provenance.coalesced == 2
+        counters = server.server.counters()
+        assert counters["batches"] == 1
+        assert counters["coalesced_queries"] == 2
+        # and the answers are the session's answers
+        reference = Session(er_medium, delta=False)
+        assert got_a[0].value == reference.answer_one(
+            VectorQuery(0, (e,))).value
+        assert got_b[0].value == reference.answer_one(
+            VectorQuery(1, (e,))).value
+
+    def test_malformed_ticket_cannot_poison_batch_mates(self, served,
+                                                        er_medium):
+        server, _ = served
+        e = next(iter(er_medium.edges()))
+
+        with _connect(server, client="good") as good, \
+                _connect(server, client="bad") as bad:
+            def innocent():
+                return good.answer([VectorQuery(0, (e,))])
+
+            def guilty():
+                with pytest.raises(QueryError):
+                    bad.answer([DistanceQuery(0, 10 ** 6, (e,))])
+                return "raised"
+
+            got, raised = _concurrently(innocent, guilty)
+        assert raised == "raised"
+        assert got[0].value is not None  # innocent answer survived
+
+
+class TestAdmissionControl:
+    def test_overweight_request_is_refused(self, er_medium):
+        backend = Session(er_medium)
+        with BackgroundServer(backend,
+                              max_inflight_client=3) as server:
+            with _connect(server) as client:
+                assert client.limits["max_inflight_client"] == 3
+                with pytest.raises(ServiceError) as info:
+                    client.answer([DistanceQuery(0, i)
+                                   for i in range(1, 6)])
+                assert info.value.code == "admission"
+                # refusal queued nothing: a within-budget request
+                # on the same connection is served normally
+                answers = client.answer([DistanceQuery(0, 1)])
+                assert len(answers) == 1
+            counters = server.server.counters()
+        assert counters["rejected"] == 1
+        assert counters["inflight"] == 0
+
+    def test_unknown_tenant_is_refused(self, served):
+        server, _ = served
+        with _connect(server, tenant="nobody") as client:
+            with pytest.raises(ServiceError) as info:
+                client.answer([DistanceQuery(0, 1)])
+            assert info.value.code == "tenant"
+
+
+class TestResilience:
+    def test_disconnect_mid_stream_leaves_server_serving(self, served):
+        server, _ = served
+        rude = _connect(server, client="rude")
+        rude.answer([DistanceQuery(0, 1)])
+        rude._sock.close()  # vanish without a goodbye
+        with _connect(server, client="polite") as polite:
+            answers = polite.answer([DistanceQuery(0, 2)])
+        assert len(answers) == 1
+
+    def test_graceful_drain_finishes_then_refuses(self, served):
+        server, _ = served
+        client = _connect(server)
+        answers = client.answer([DistanceQuery(0, 1),
+                                 DistanceQuery(0, 2)])
+        assert len(answers) == 2
+        server.drain(timeout=30)
+        # drained server refuses further work with a typed error
+        # ("draining" in the drain window, "closed" once connections
+        # are torn down — either way, typed, never a hang)
+        with pytest.raises(ServiceError):
+            client.answer([DistanceQuery(0, 3)])
+        client.close()
+
+
+class TestEpochPushes:
+    def test_subscribe_and_bump(self, served):
+        server, _ = served
+        with _connect(server) as client:
+            assert client.subscribe() == {"default": 0}
+            assert server.bump_epoch() == 1
+            assert client.poll_pushes(timeout=2.0) == {"default": 1}
+            # pushes also piggyback on the next request/reply dialog
+            server.bump_epoch()
+            client.answer([DistanceQuery(0, 1)])
+            assert client.epochs == {"default": 2}
+
+    def test_unknown_tenant_bump_raises(self, served):
+        server, _ = served
+        with pytest.raises(ServiceError) as info:
+            server.bump_epoch("nobody")
+        assert info.value.code == "tenant"
+
+
+class TestServedFleet:
+    def test_fleet_backend_over_the_wire(self, grid4):
+        from repro.fleet import FleetSession
+
+        fleet = FleetSession(grid4, workers=2)
+        try:
+            with BackgroundServer(fleet) as server:
+                with _connect(server) as client:
+                    answers = client.answer(
+                        [DistanceQuery(0, 15, [(0, 1)]),
+                         DistanceQuery(0, 15, [(1, 2)])])
+            assert [a.value for a in answers] == [6, 6]
+            # per-worker attribution survives service + fleet hops
+            assert any(a.provenance.worker for a in answers)
+        finally:
+            fleet.close()
