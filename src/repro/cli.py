@@ -16,7 +16,12 @@ Five commands, each a thin veneer over the library:
   with ``--connect HOST:PORT``, through a running scenario service.
 * ``serve`` — run the scenario service (:mod:`repro.service`): an
   asyncio front over one shared session (or fleet) backend, with
-  cross-client wave coalescing and admission control.
+  cross-client wave coalescing and admission control; with
+  ``--metrics-port`` it also records observability metrics
+  (:mod:`repro.obs`) and exposes them over HTTP in Prometheus text.
+* ``stats`` — ask a running service for its counters, backend cache
+  numbers, and observability snapshot (``--prometheus`` dumps the
+  scrape text).
 
 Graph-construction errors (:class:`~repro.exceptions.GraphError`)
 exit 2 with a one-line message on stderr — the argparse convention —
@@ -229,6 +234,7 @@ def cmd_query(args) -> int:
              else f"served by {st.waves} batched waves")
     print(f"answers: {st.cache} cache / {st.filter} filter / "
           f"{st.delta} delta / {st.wave} wave ({waves})")
+    _print_provenance(answers)
     print(f"degraded monitored-pair answers: {degraded}; "
           f"disconnecting fault sets: {cut}/{len(scenarios)}")
     info = session.cache_info()
@@ -252,6 +258,29 @@ def cmd_query(args) -> int:
     return 0
 
 
+def _print_provenance(answers) -> None:
+    """One line per provenance dimension the answers actually carry:
+    which kernel backend served the waves/repairs, which fleet worker
+    produced each answer, and how many answers rode a wave shared with
+    other clients (``coalesced > 1``)."""
+    from collections import Counter
+
+    backends = Counter(a.provenance.backend for a in answers
+                       if a.provenance.backend)
+    if backends:
+        print("backends: " + ", ".join(
+            f"{name}={count}" for name, count in sorted(backends.items())))
+    workers = Counter(a.provenance.worker for a in answers
+                      if a.provenance.worker)
+    if workers:
+        print("workers: " + ", ".join(
+            f"{name}={count}" for name, count in sorted(workers.items())))
+    shared = sum(1 for a in answers if (a.provenance.coalesced or 0) > 1)
+    if shared:
+        print(f"coalesced: {shared}/{len(answers)} answers shared "
+              f"their fault set's wave with other batched queries")
+
+
 def cmd_serve(args) -> int:
     import asyncio
 
@@ -266,6 +295,15 @@ def cmd_serve(args) -> int:
     else:
         backend = Session(graph)
 
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro import obs
+
+        obs.enable()
+        metrics_server = obs.MetricsServer(
+            obs.render_prometheus, host=args.host,
+            port=args.metrics_port)
+
     async def _serve() -> None:
         server = ScenarioServer(
             backend, host=args.host, port=args.port,
@@ -277,6 +315,9 @@ def cmd_serve(args) -> int:
         print(f"serving n={graph.n}, m={graph.m} on {host}:{port} "
               f"(coalescing <= {server.coalescer.max_batch} queries "
               f"/ {args.max_delay_ms}ms)")
+        if metrics_server is not None:
+            print(f"metrics: http://{args.host}:"
+                  f"{metrics_server.port}/ (Prometheus text)")
         if args.port_file:
             from pathlib import Path
 
@@ -297,8 +338,39 @@ def cmd_serve(args) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        if metrics_server is not None:
+            metrics_server.close()
         if args.workers > 0:
             backend.close()
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from repro.obs.export import render_prometheus
+    from repro.service import ServiceClient
+
+    host, _, port = args.connect.rpartition(":")
+    with ServiceClient(host or "127.0.0.1", int(port),
+                       client="repro-stats") as client:
+        reply = client.server_stats()
+    server = reply.get("server", {})
+    print(f"server {client.server!r} at {args.connect} "
+          f"(tenants {list(client.tenants)})")
+    print("counters: " + ", ".join(
+        f"{name}={value}" for name, value in sorted(server.items())))
+    info = reply.get("cache")
+    if info is not None:
+        print(f"backend LRU: {info.size} entries, pair memo "
+              f"{info.hits}h/{info.misses}m, vector cache "
+              f"{info.vector_hits}h/{info.vector_misses}m")
+    obs_view = reply.get("obs") or {}
+    metrics = obs_view.get("metrics", [])
+    spans = obs_view.get("spans", [])
+    state = "on" if obs_view.get("enabled") else "off"
+    print(f"observability: {state}, {len(metrics)} metrics, "
+          f"{len(spans)} spans buffered")
+    if args.prometheus and metrics:
+        print(render_prometheus(metrics), end="")
     return 0
 
 
@@ -377,7 +449,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--ttl", type=float, default=0,
                        help="serve for this many seconds then drain "
                             "(default: 0 = forever)")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       help="enable observability and expose "
+                            "Prometheus metrics over HTTP on this "
+                            "port (0 = pick a free one)")
     serve.set_defaults(fn=cmd_serve)
+
+    stats = sub.add_parser(
+        "stats", help="query a running scenario service's counters "
+                      "and observability snapshot"
+    )
+    stats.add_argument("--connect", metavar="HOST:PORT", required=True,
+                       help="the service's bound address")
+    stats.add_argument("--prometheus", action="store_true",
+                       help="dump the server's metrics in Prometheus "
+                            "text format")
+    stats.set_defaults(fn=cmd_stats)
 
     return parser
 

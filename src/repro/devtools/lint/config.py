@@ -33,6 +33,12 @@ from typing import Optional, Tuple
 # ---------------------------------------------------------------------------
 LAYERS: Tuple[Tuple[str, ...], ...] = (
     ("exceptions",),
+    # The observability plane sits at the very bottom (stdlib-only, no
+    # repro imports beyond exceptions-level hygiene) so every layer —
+    # kernel dispatch included — may instrument through it at module
+    # level.  Its use inside hot kernels is separately forbidden by
+    # OB401.
+    ("obs",),
     ("graphs",),
     # The kernel-backend seam sits below ``spt``: the public kernels
     # dispatch *down* into it, and the pyloops backend's upward binding

@@ -108,9 +108,9 @@ class ModuleContext:
 # (see ``all_rules`` below; imported lazily to avoid a module cycle).
 # ---------------------------------------------------------------------------
 def _families():
-    from repro.devtools.lint import aliasing, hygiene, layering
+    from repro.devtools.lint import aliasing, hygiene, layering, obsrules
 
-    return (hygiene, layering, aliasing)
+    return (hygiene, layering, aliasing, obsrules)
 
 
 def all_rules() -> Tuple[Rule, ...]:

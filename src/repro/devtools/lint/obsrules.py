@@ -1,0 +1,136 @@
+"""Observability-hygiene rules (OB4xx): no obs in hot kernels.
+
+The observability layer's overhead contract (see :mod:`repro.obs`) is
+that instrumentation lives at *wave seams* — one guarded call per
+batched wave, per delta repair, per coalescer flush — never inside the
+kernel inner loops the PR 1–5 speedups live in.  A single
+``obs.inc(...)`` per visited arc would cost more than the traversal.
+
+OB401 enforces that mechanically: any reference to the
+:mod:`repro.obs` plane (a call through an ``obs`` module alias, a
+directly imported helper, or even reading ``obs.ENABLED``) inside a
+function matched by the hot-path registries
+(:data:`~repro.devtools.lint.config.HOT_PATHS`,
+:data:`~repro.devtools.lint.config.VECTORIZED_HOT_PATHS`) is flagged.
+Hot kernels stay instrumentation-free; their callers record.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+from typing import Iterator, List, Set, Tuple
+
+from repro.devtools.lint.config import HOT_PATHS, VECTORIZED_HOT_PATHS
+from repro.devtools.lint.core import ModuleContext, Rule
+
+OB401 = Rule(
+    id="OB401", name="hot-obs-call", family="obs-hygiene",
+    description="Observability use inside a hot-path kernel; record at "
+                "the wave seam (the kernel's caller) instead.",
+)
+
+RULES = (OB401,)
+
+_FUNCS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _obs_bindings(tree: ast.Module) -> Tuple[Set[str], Set[str]]:
+    """Names bound to the obs plane, module-wide.
+
+    Returns ``(aliases, members)``: single names that refer to the
+    ``repro.obs`` module itself (``from repro import obs [as _obs]``,
+    ``import repro.obs as o``) and names bound to one of its members
+    (``from repro.obs import inc [as bump]``).  Function-level
+    deferred imports count too — deferring an import doesn't make a
+    hot loop any cheaper.
+    """
+    aliases: Set[str] = set()
+    members: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if (alias.name == "repro.obs"
+                        or alias.name.startswith("repro.obs.")):
+                    if alias.asname is not None:
+                        aliases.add(alias.asname)
+                    else:
+                        # ``import repro.obs`` binds ``repro``; the
+                        # dotted-use case is matched separately.
+                        aliases.add("repro.obs")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "repro":
+                for alias in node.names:
+                    if alias.name == "obs":
+                        aliases.add(alias.asname or alias.name)
+            elif node.module and (node.module == "repro.obs"
+                                  or node.module.startswith("repro.obs.")):
+                for alias in node.names:
+                    members.add(alias.asname or alias.name)
+    return aliases, members
+
+
+def _hot_qualnames(module: str) -> List[str]:
+    patterns: List[str] = []
+    for entry in HOT_PATHS + VECTORIZED_HOT_PATHS:
+        mod_pat, _, qual_pat = entry.partition(":")
+        if fnmatch(module, mod_pat):
+            patterns.append(qual_pat)
+    return patterns
+
+
+def _functions(tree: ast.Module) -> Iterator[Tuple[str, ast.AST]]:
+    def visit(node: ast.AST, prefix: str) -> Iterator[Tuple[str, ast.AST]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _FUNCS):
+                qual = f"{prefix}{child.name}"
+                yield qual, child
+                yield from visit(child, f"{qual}.")
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, f"{prefix}{child.name}.")
+            else:
+                yield from visit(child, prefix)
+
+    yield from visit(tree, "")
+
+
+def _dotted(node: ast.AST) -> str:
+    """``a.b.c`` for a pure Name/Attribute chain, else ``""``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return ""
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def check(ctx: ModuleContext) -> Iterator[Tuple[Rule, ast.AST, str]]:
+    patterns = _hot_qualnames(ctx.module)
+    if not patterns:
+        return
+    aliases, members = _obs_bindings(ctx.tree)
+    if not aliases and not members:
+        return
+
+    def msg(qual: str, use: str) -> str:
+        return (f"hot kernel '{qual}' touches the observability plane "
+                f"via '{use}'; record at the wave seam (the kernel's "
+                f"caller), not in the kernel")
+
+    for qual, fn in _functions(ctx.tree):
+        if not any(fnmatch(qual, pat) for pat in patterns):
+            continue
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Name) and \
+                    isinstance(node.ctx, ast.Load):
+                if node.id in aliases or node.id in members:
+                    yield OB401, node, msg(qual, node.id)
+            elif isinstance(node, ast.Attribute) and \
+                    isinstance(node.ctx, ast.Load):
+                # The ``import repro.obs`` spelling: flag the chain
+                # node that *is* the module reference (``repro.obs``),
+                # exactly once per use.
+                if _dotted(node) in aliases:
+                    yield OB401, node, msg(qual, _dotted(node))

@@ -117,11 +117,20 @@ class InitRequest(Request):
 
 @dataclass(frozen=True)
 class ExecuteRequest(Request):
-    """Answer a shard of typed queries for one tenant."""
+    """Answer a shard of typed queries for one tenant.
+
+    ``trace`` is an optional observability context
+    (:class:`~repro.obs.trace.TraceContext`, or its ``to_dict`` form)
+    carried across the process boundary so worker-side spans parent to
+    the caller's trace.  It defaults to ``None`` — untraced requests
+    pickle byte-compatibly with the pre-obs protocol — and workers
+    treat anything malformed as "untraced", never as an error.
+    """
 
     tenant: str
     queries: Tuple[Any, ...]
     scheme: Any = None
+    trace: Any = None
 
 
 @dataclass(frozen=True)
@@ -164,7 +173,12 @@ class ReadyReply(Reply):
 
 @dataclass(frozen=True)
 class ExecuteReply(Reply):
+    """Answers plus (for traced requests) the worker's finished span
+    records — plain dicts, drained from the worker's buffer so the
+    parent can :func:`repro.obs.ingest` them into one export."""
+
     answers: Tuple[Any, ...]
+    spans: Tuple[Any, ...] = ()
 
 
 @dataclass(frozen=True)

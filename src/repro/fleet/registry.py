@@ -32,6 +32,7 @@ from multiprocessing.connection import Connection
 from multiprocessing.process import BaseProcess
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro import obs as _obs
 from repro.exceptions import FleetError
 from repro.fleet.protocol import (
     CapacityReport,
@@ -230,6 +231,8 @@ class WorkerRegistry:
     def _respawn(self, handle: _WorkerHandle) -> None:
         """Replace a dead worker's process (warm caches are lost)."""
         self.respawns += 1
+        if _obs.ENABLED:
+            _obs.inc("repro_fleet_respawns_total", worker=handle.name)
         warnings.warn(
             f"fleet worker {handle.name} died; respawning "
             f"(warm caches lost)",
@@ -328,6 +331,14 @@ class WorkerRegistry:
                 )
             self._handle(name).report = checked.capacity
             reports[name] = checked
+        if _obs.ENABLED:
+            for name, capacity in self.capacities().items():
+                _obs.set_gauge("repro_fleet_capacity_total_bytes",
+                               float(capacity.total_bytes), worker=name)
+                _obs.set_gauge("repro_fleet_capacity_used_bytes",
+                               float(capacity.booked_bytes), worker=name)
+                _obs.set_gauge("repro_fleet_capacity_in_flight",
+                               float(capacity.in_flight), worker=name)
         return reports
 
     def ping(self) -> Dict[str, bool]:
@@ -412,6 +423,9 @@ class WorkerRegistry:
             except (*_CHANNEL_ERRORS, *_PICKLE_ERRORS):
                 pass
         self.serial_fallbacks += 1
+        if _obs.ENABLED:
+            _obs.inc("repro_fleet_serial_fallbacks_total",
+                     worker=handle.name)
         warnings.warn(
             f"fleet worker {handle.name} unrecoverable "
             f"({type(failure).__name__}: {failure}); serving its "

@@ -38,6 +38,7 @@ from typing import (
     Union,
 )
 
+from repro import obs as _obs
 from repro.exceptions import FleetError, QueryError
 from repro.fleet.protocol import (
     ErrorReply,
@@ -271,15 +272,16 @@ class FleetSession:
         with self._gather_lock:
             answers: List[Optional[Answer]] = [None] * len(batch)
             first_error: Optional[ErrorReply] = None
-            for tenant in dict.fromkeys(name for name, _ in batch):
-                indices = [i for i, (name, _) in enumerate(batch)
-                           if name == tenant]
-                error = self._run_tenant(
-                    tenant, [batch[i][1] for i in indices], indices,
-                    scheme, answers,
-                )
-                if first_error is None and error is not None:
-                    first_error = error
+            with _obs.span("fleet.gather", queries=len(batch)):
+                for tenant in dict.fromkeys(name for name, _ in batch):
+                    indices = [i for i, (name, _) in enumerate(batch)
+                               if name == tenant]
+                    error = self._run_tenant(
+                        tenant, [batch[i][1] for i in indices], indices,
+                        scheme, answers,
+                    )
+                    if first_error is None and error is not None:
+                        first_error = error
             self._gathers += 1
             if first_error is not None:
                 raise_reply(first_error)
@@ -298,11 +300,19 @@ class FleetSession:
         self.registry.start()
         eligible = self.registry.routing_candidates()
         shards = self._routers[tenant].shard(queries, eligible)
+        # When tracing, every shard request carries the caller's
+        # current context so worker-side spans (worker.execute and the
+        # engine waves under it) parent into one cross-process trace.
+        trace = None
+        if _obs.ENABLED:
+            ctx = _obs.current_context()
+            trace = ctx.to_dict() if ctx is not None else None
         assignments = {
             worker: ExecuteRequest(
                 tenant=tenant,
                 queries=tuple(queries[i] for i in local),
                 scheme=scheme,
+                trace=trace,
             )
             for worker, local in shards.items()
         }
@@ -318,8 +328,14 @@ class FleetSession:
                 raise FleetError(
                     f"worker {worker} answered execute with {reply!r}"
                 )
+            if reply.spans:
+                _obs.ingest(reply.spans)
             for local_i, answer in zip(local, reply.answers):
                 answers[indices[local_i]] = answer
+            if _obs.ENABLED:
+                _obs.observe("repro_fleet_shard_size",
+                             float(len(local)), worker=worker,
+                             tenant=tenant)
         return first_error
 
     def _validate(self, batch: List[Tuple[str, Query]]) -> None:

@@ -23,6 +23,7 @@ import dataclasses
 import traceback
 from typing import Any, Dict, List, Tuple
 
+from repro import obs as _obs
 from repro.fleet.protocol import (
     WORD_BYTES,
     CapacityReport,
@@ -104,6 +105,43 @@ def _capacity(worker: str,
                           tenants=tuple(tenants))
 
 
+def _serve_execute(worker: str, sessions: Dict[str, Session],
+                   request: ExecuteRequest) -> ExecuteReply:
+    """Answer one shard, tracing it when the request carries a context.
+
+    A traced request turns recording on in this process (sticky — the
+    parent flipped its own switch, and a worker cannot be asked to
+    forget mid-stream without losing the engine-side wave spans), and
+    the shard runs under a ``worker.execute`` span parented to the
+    carried context.  The worker's finished spans ride home on the
+    reply, leaving its buffer drained.
+    """
+    ctx = _obs.TraceContext.from_dict(request.trace)
+    traced = ctx is not None
+    if traced and not _obs.ENABLED:
+        _obs.enable()
+    session = sessions[request.tenant]
+    with _obs.activate(ctx):
+        with _obs.span("worker.execute", worker=worker,
+                       tenant=request.tenant,
+                       queries=len(request.queries)):
+            answers = session.answer(list(request.queries),
+                                     scheme=request.scheme)
+    # The session recorded its stats before the worker stamp existed
+    # on the answers, so the by_worker tally is booked here — the one
+    # place that knows the worker's name.
+    if answers:
+        session.stats.by_worker[worker] = (
+            session.stats.by_worker.get(worker, 0) + len(answers))
+    if _obs.ENABLED:
+        _obs.inc("repro_worker_answers_total", len(answers),
+                 worker=worker, tenant=request.tenant)
+    spans: Tuple[Any, ...] = (
+        tuple(_obs.take_spans()) if traced else ())
+    return ExecuteReply(worker=worker, answers=_stamp(answers, worker),
+                        spans=spans)
+
+
 def serve_request(worker: str, sessions: Dict[str, Session],
                   request: Request) -> Reply:
     """Serve one request against the tenant sessions (pure dispatch).
@@ -133,17 +171,7 @@ def serve_request(worker: str, sessions: Dict[str, Session],
             ),
         )
     if isinstance(request, ExecuteRequest):
-        session = sessions[request.tenant]
-        answers = session.answer(list(request.queries),
-                                 scheme=request.scheme)
-        # The session recorded its stats before the worker stamp
-        # existed on the answers, so the by_worker tally is booked
-        # here — the one place that knows the worker's name.
-        if answers:
-            session.stats.by_worker[worker] = (
-                session.stats.by_worker.get(worker, 0) + len(answers))
-        return ExecuteReply(worker=worker,
-                            answers=_stamp(answers, worker))
+        return _serve_execute(worker, sessions, request)
     if isinstance(request, JobRequest):
         session = sessions[request.tenant]
         method = getattr(session, request.method)

@@ -1,0 +1,140 @@
+"""Exporters: Prometheus text format, JSON-lines dumps, a scrape port.
+
+Three ways out of the process, all reading the same snapshots:
+
+* :func:`render_prometheus` — the text exposition format
+  (``name{label="v"} value``), counters as ``_total``-as-written,
+  histograms as cumulative ``_bucket``/``_sum``/``_count`` series.
+* :func:`write_jsonl` — one JSON object per line, metric records
+  first, span records after; the artifact the overhead bench and the
+  cross-process trace assertions read back.
+* :func:`MetricsServer` — a daemon-thread ``http.server`` answering
+  every GET with the Prometheus render (the ``repro serve
+  --metrics-port`` surface).  Deliberately tiny: no routing, no TLS,
+  bind it to loopback or a trusted network only.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import IO, Any, Callable, Dict, Iterable, List
+
+__all__ = ["MetricsServer", "render_prometheus", "write_jsonl"]
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _label_str(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label(str(v))}"'
+             for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(records: Iterable[Dict[str, Any]]) -> str:
+    """Metric records (:meth:`MetricsRegistry.snapshot`) as text format."""
+    typed: Dict[str, str] = {}
+    lines: List[str] = []
+    for record in records:
+        name = str(record["name"])
+        kind = str(record["kind"])
+        labels = dict(record["labels"])
+        if typed.get(name) is None:
+            typed[name] = kind
+            lines.append(f"# TYPE {name} {kind}")
+        if kind in ("counter", "gauge"):
+            lines.append(f"{name}{_label_str(labels)} "
+                         f"{_format_value(record['value'])}")
+            continue
+        # Histogram: cumulative buckets, then sum and count.
+        cumulative = 0
+        for bound, count in zip(record["buckets"], record["counts"]):
+            cumulative += count
+            le = _label_str(labels, f'le="{_format_value(bound)}"')
+            lines.append(f"{name}_bucket{le} {cumulative}")
+        cumulative += record["counts"][-1]
+        le = _label_str(labels, 'le="+Inf"')
+        lines.append(f"{name}_bucket{le} {cumulative}")
+        lines.append(f"{name}_sum{_label_str(labels)} "
+                     f"{_format_value(record['sum'])}")
+        lines.append(f"{name}_count{_label_str(labels)} "
+                     f"{record['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(stream: IO[str], metrics: Iterable[Dict[str, Any]],
+                spans: Iterable[Dict[str, Any]]) -> int:
+    """Dump metric then span records, one JSON object per line.
+
+    Returns the number of lines written.  Every record already is a
+    plain dict (``kind`` field distinguishes the planes), so readers
+    filter with one key instead of a schema.
+    """
+    written = 0
+    for record in metrics:
+        stream.write(json.dumps(record, sort_keys=True) + "\n")
+        written += 1
+    for record in spans:
+        stream.write(json.dumps(record, sort_keys=True) + "\n")
+        written += 1
+    return written
+
+
+class MetricsServer:
+    """A daemon-thread scrape endpoint serving the Prometheus render.
+
+    ``render`` is called per GET, so scrapes always see live values.
+    ``port=0`` binds an ephemeral port; read it back from
+    :attr:`port`.  Use as a context manager or call :meth:`close`.
+    """
+
+    def __init__(self, render: Callable[[], str],
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                body = outer._render().encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type",
+                                 "text/plain; version=0.0.4")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format: str, *args: Any) -> None:
+                pass  # scrapes are not access-log events
+
+        self._render = render
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self.host = self._server.server_address[0]
+        self.port = int(self._server.server_address[1])
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-obs-metrics", daemon=True)
+        self._thread.start()
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

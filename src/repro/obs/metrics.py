@@ -1,0 +1,209 @@
+"""The metrics plane: counters, gauges, fixed-bucket histograms.
+
+One process-wide :class:`MetricsRegistry` (owned by :mod:`repro.obs`)
+holds every instrument, keyed by ``(kind, name, labels)``.  Instruments
+are get-or-create: the first ``registry.counter("repro_waves_total",
+kernel="csr_bfs_distances_many")`` creates it, every later call with
+the same name and labels returns the same object, so call sites can
+hold a handle across calls or look it up each time — both are cheap.
+
+Design constraints, in the order they shaped the code:
+
+* **Allocation-free observation.**  :meth:`Histogram.observe` is a
+  :func:`bisect.bisect_left` into a precomputed bound list plus three
+  integer/float updates — no objects are created per observation, so
+  the enabled path stays cheap at wave frequency.  Counters and gauges
+  are single attribute updates.
+* **Fixed buckets.**  Histogram buckets are chosen at creation (the
+  first call wins) and never resized; the default ladders cover
+  sub-millisecond latencies (``TIME_BUCKETS``) and small-integer sizes
+  (``SIZE_BUCKETS``).
+* **Snapshot, don't lock.**  Writers update plain attributes under the
+  GIL; readers take a point-in-time :meth:`MetricsRegistry.snapshot`
+  (a list of plain dicts, JSON-ready).  The only lock guards
+  instrument *creation*, which is rare.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SIZE_BUCKETS",
+    "TIME_BUCKETS",
+]
+
+LabelTuple = Tuple[Tuple[str, str], ...]
+
+#: Latency ladder (seconds): 100 microseconds up to 10 s, roughly
+#: 1-2.5-5 per decade — wave and repair kernels land mid-ladder on the
+#: reference container.
+TIME_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Size ladder (counts): powers of two up to 1024 — batch widths,
+#: planner group sizes, coalescer batches.
+SIZE_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+)
+
+
+def _label_tuple(labels: Dict[str, Any]) -> LabelTuple:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing tally."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelTuple) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def to_record(self) -> Dict[str, Any]:
+        return {"kind": "counter", "name": self.name,
+                "labels": dict(self.labels), "value": self.value}
+
+
+class Gauge:
+    """A point-in-time level (capacity, threshold, queue depth)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelTuple) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def to_record(self) -> Dict[str, Any]:
+        return {"kind": "gauge", "name": self.name,
+                "labels": dict(self.labels), "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket distribution with an allocation-free ``observe``."""
+
+    __slots__ = ("name", "labels", "bounds", "counts", "sum", "count")
+
+    def __init__(self, name: str, labels: LabelTuple,
+                 buckets: Tuple[float, ...]) -> None:
+        if not buckets or tuple(sorted(buckets)) != tuple(buckets):
+            raise ValueError(
+                f"histogram buckets must be sorted and non-empty: "
+                f"{buckets!r}")
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(float(b) for b in buckets)
+        # One slot per finite bound plus the +Inf overflow slot.
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        # bisect into the precomputed bounds, then three scalar
+        # updates: nothing is allocated per observation.
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def to_record(self) -> Dict[str, Any]:
+        return {"kind": "histogram", "name": self.name,
+                "labels": dict(self.labels),
+                "buckets": list(self.bounds),
+                "counts": list(self.counts),
+                "sum": self.sum, "count": self.count}
+
+
+class MetricsRegistry:
+    """Process-wide instrument table, keyed ``(kind, name, labels)``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, LabelTuple], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelTuple], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelTuple], Histogram] = {}
+
+    # -- get-or-create accessors ------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _label_tuple(labels))
+        metric = self._counters.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._counters.setdefault(
+                    key, Counter(name, key[1]))
+        return metric
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_tuple(labels))
+        metric = self._gauges.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._gauges.setdefault(key, Gauge(name, key[1]))
+        return metric
+
+    def histogram(self, name: str,
+                  buckets: Optional[Iterable[float]] = None,
+                  **labels: Any) -> Histogram:
+        """Get-or-create; ``buckets`` applies only at creation.
+
+        When omitted, names ending in ``_size`` get the power-of-two
+        :data:`SIZE_BUCKETS` ladder and everything else the latency
+        :data:`TIME_BUCKETS` ladder.
+        """
+        key = (name, _label_tuple(labels))
+        metric = self._histograms.get(key)
+        if metric is None:
+            if buckets is None:
+                chosen = (SIZE_BUCKETS if name.endswith("_size")
+                          else TIME_BUCKETS)
+            else:
+                chosen = tuple(float(b) for b in buckets)
+            with self._lock:
+                metric = self._histograms.setdefault(
+                    key, Histogram(name, key[1], chosen))
+        return metric
+
+    # -- read side ---------------------------------------------------
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Every instrument as a plain JSON-ready record, sorted."""
+        with self._lock:
+            metrics: List[Any] = (
+                list(self._counters.values())
+                + list(self._gauges.values())
+                + list(self._histograms.values())
+            )
+        records = [m.to_record() for m in metrics]
+        records.sort(key=lambda r: (str(r["name"]),
+                                    sorted(r["labels"].items())))
+        return records
+
+    def clear(self) -> None:
+        """Drop every instrument (tests and ``obs.reset()``)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return (len(self._counters) + len(self._gauges)
+                    + len(self._histograms))

@@ -37,6 +37,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from repro import obs as _obs
 from repro.exceptions import QueryError
 from repro.query.queries import (
     Answer,
@@ -248,19 +249,45 @@ class Planner:
             self._check_restoration_scheme(scheme)
         answers: List[Optional[Answer]] = [None] * len(plan.queries)
         plan.waves = 0
-        for group in plan.groups:
-            self._execute_group(plan, group, answers)
-        if plan.restoration:
-            self._execute_restoration(plan, answers, scheme)
-        if plan.preserver:
-            self._execute_preserver(plan, answers)
-        if plan.midpoint:
-            self._execute_midpoint(plan, answers, scheme)
+        with _obs.span("planner.execute", queries=len(plan.queries),
+                       groups=len(plan.groups)):
+            for group in plan.groups:
+                self._execute_group(plan, group, answers)
+            if plan.restoration:
+                self._execute_restoration(plan, answers, scheme)
+            if plan.preserver:
+                self._execute_preserver(plan, answers)
+            if plan.midpoint:
+                self._execute_midpoint(plan, answers, scheme)
+        if _obs.ENABLED:
+            self._record_plan(plan, answers)
         return answers  # type: ignore[return-value]
 
     def run(self, queries: Iterable[Query], scheme=None) -> List[Answer]:
         """:meth:`plan` + :meth:`execute` in one call."""
         return self.execute(self.plan(queries), scheme=scheme)
+
+    @staticmethod
+    def _record_plan(plan: Plan,
+                     answers: List[Optional[Answer]]) -> None:
+        """The planner's observability seam: group sizes and the
+        provenance mix, recorded once per executed plan (never inside
+        the group loop's cache probes)."""
+        _obs.inc("repro_plans_total")
+        _obs.inc("repro_plan_waves_total", plan.waves)
+        for group in plan.groups:
+            _obs.observe("repro_plan_group_size",
+                         float(len(group.indices)), side=group.side)
+        # Tally locally, then one registry touch per provenance kind —
+        # a per-answer inc would pay a label lookup per query and
+        # dominate the enabled-overhead budget on large streams.
+        tally: Dict[str, int] = {}
+        for answer in answers:
+            if answer is not None:
+                source = answer.provenance.source
+                tally[source] = tally.get(source, 0) + 1
+        for source, count in tally.items():
+            _obs.inc("repro_answers_total", count, provenance=source)
 
     # ------------------------------------------------------------------
     def _pair_value(self, query: Query, dist: int):

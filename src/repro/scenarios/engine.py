@@ -86,8 +86,10 @@ import warnings
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, fields
+from time import perf_counter
 from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
+from repro import obs as _obs
 from repro.backends.dispatch import backend_for
 from repro.exceptions import GraphError
 from repro.graphs.base import Edge, Graph, canonical_edge
@@ -186,6 +188,27 @@ class CacheInfo:
     def as_dict(self) -> Dict[str, Any]:
         """A plain dict (JSON-ready), same keys as the PR-2 payload."""
         return {name: getattr(self, name) for name in _CACHE_INFO_FIELDS}
+
+    def publish(self, **labels: Any) -> None:
+        """Mirror this snapshot into the obs registry as gauges.
+
+        The observability contract for the engine counters: the hot
+        paths keep bumping plain ints (a registry call per cache hit
+        would tax the PR 1–5 loops), and every :meth:`cache_info`
+        snapshot re-publishes them, making :class:`CacheInfo` the thin
+        view through which the registry sees the cache plane.  No-op
+        while :mod:`repro.obs` is disabled.
+        """
+        if not _obs.ENABLED:
+            return
+        for name in _CACHE_INFO_FIELDS:
+            if name == "wave_backends":
+                continue
+            _obs.set_gauge(f"repro_cache_{name}",
+                           float(getattr(self, name)), **labels)
+        for backend, count in self.wave_backends:
+            _obs.set_gauge("repro_cache_wave_backends", float(count),
+                           backend=backend, **labels)
 
     @classmethod
     def merge(cls, infos: Iterable["CacheInfo"]) -> "CacheInfo":
@@ -749,8 +772,18 @@ class ScenarioEngine:
         backend = backend_for(kernel, self.csr, batch=len(orphans))
         self.last_repair_backend = backend.name
         repair = getattr(backend, kernel)
+        # Per-repair observability seam, same contract as _wave's.
+        t0 = perf_counter() if _obs.ENABLED else 0.0
         with self._masked(fault_key) as mask:
             patched, _changed = repair(self.csr, mask, base, orphans)
+        if _obs.ENABLED:
+            dt = perf_counter() - t0
+            _obs.observe("repro_delta_repair_seconds", dt,
+                         kernel=kernel, backend=backend.name)
+            _obs.inc("repro_delta_repairs_total",
+                     kernel=kernel, backend=backend.name)
+            _obs.emit_span("delta_repair", dt, kernel=kernel,
+                           backend=backend.name, orphans=len(orphans))
         self.delta_hits += 1
         self._memo_put((source, fault_key), patched)
         return patched
@@ -950,8 +983,11 @@ class ScenarioEngine:
         Attribute access (``info.hits``) is canonical; the PR-2
         mapping idiom (``info["hits"]``, ``dict(info)``) keeps
         working via :class:`CacheInfo`'s ``__getitem__`` / ``keys``.
+        When :mod:`repro.obs` is enabled, the snapshot is also
+        mirrored into the metrics registry (see
+        :meth:`CacheInfo.publish`).
         """
-        return CacheInfo(
+        info = CacheInfo(
             hits=self.cache_hits,
             misses=self.cache_misses,
             evictions=self.pair_evictions,
@@ -965,6 +1001,8 @@ class ScenarioEngine:
             wave_backends=tuple(sorted(self.wave_backends.items())),
             pool_fallbacks=self.pool_fallbacks,
         )
+        info.publish()
+        return info
 
     # ------------------------------------------------------------------
     # kernel-backend seam
@@ -996,8 +1034,21 @@ class ScenarioEngine:
         backend = backend_for(kernel, self.csr, batch=len(sources))
         name = backend.name
         self.wave_backends[name] = self.wave_backends.get(name, 0) + 1
+        # The per-wave observability seam: one guarded branch when
+        # disabled (the obs overhead contract), one histogram/counter/
+        # span record per *wave* — never per arc — when enabled.
+        t0 = perf_counter() if _obs.ENABLED else 0.0
         rows: List[List[int]] = getattr(backend, kernel)(
             self.csr, mask, sources)
+        if _obs.ENABLED:
+            dt = perf_counter() - t0
+            _obs.observe("repro_wave_seconds", dt,
+                         kernel=kernel, backend=name)
+            _obs.inc("repro_waves_total", kernel=kernel, backend=name)
+            _obs.observe("repro_wave_batch_size", float(len(sources)),
+                         kernel=kernel, backend=name)
+            _obs.emit_span("wave", dt, kernel=kernel, backend=name,
+                           batch=len(sources))
         return rows
 
     def __repr__(self) -> str:

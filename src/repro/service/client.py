@@ -36,6 +36,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from repro import obs as _obs
 from repro.exceptions import QueryError, ServiceError
 from repro.query.queries import (
     Answer,
@@ -187,7 +188,14 @@ class ServiceClient:
             "scheme": scheme if scheme is not None else self.scheme,
             "tenant": self.tenant,
         }
-        reply = self._request(message)
+        # When tracing, the request rides under a client-side root
+        # span whose context crosses the wire in the "trace" slot —
+        # the first link of the socket → coalescer → wave chain.
+        with _obs.span("client.request", client=self.name,
+                       queries=len(queries)) as span_obj:
+            if span_obj is not None:
+                message["trace"] = span_obj.context().to_dict()
+            reply = self._request(message)
         answers = list(reply["answers"])
         self.stats.record_answers(answers)
         return answers
@@ -440,7 +448,11 @@ class AsyncServiceClient:
             "scheme": scheme if scheme is not None else self.scheme,
             "tenant": self.tenant,
         }
-        reply = await self._request(message)
+        with _obs.span("client.request", client=self.name,
+                       queries=len(queries)) as span_obj:
+            if span_obj is not None:
+                message["trace"] = span_obj.context().to_dict()
+            reply = await self._request(message)
         answers = list(reply["answers"])
         self.stats.record_answers(answers)
         return answers

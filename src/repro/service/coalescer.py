@@ -41,7 +41,9 @@ from typing import (
     Tuple,
 )
 
+from repro import obs as _obs
 from repro.exceptions import ReproError
+from repro.obs.trace import TraceContext
 from repro.query.queries import Answer, Query
 
 __all__ = ["Coalescer", "Ticket"]
@@ -52,12 +54,20 @@ AnswerFn = Callable[[List[Query], Any, str], List[Answer]]
 
 @dataclass
 class Ticket:
-    """One connection's admitted sub-batch, awaiting its answers."""
+    """One connection's admitted sub-batch, awaiting its answers.
+
+    ``trace`` is the requesting client's observability context (a
+    :class:`~repro.obs.trace.TraceContext` wire dict, or ``None``
+    when untraced) — the coalescer's shared wave span parents to the
+    first traced ticket in its batch and records every batch-mate's
+    trace id, so one wave shows up in each client's trace.
+    """
 
     queries: List[Query]
     scheme: Any
     tenant: str
     future: "asyncio.Future[List[Answer]]" = field(repr=False)
+    trace: Any = None
 
 
 def _stamp(answers: List[Answer],
@@ -122,25 +132,29 @@ class Coalescer:
         self._pending.append(ticket)
         self._pending_queries += len(ticket.queries)
         if self._pending_queries >= self.max_batch:
-            self.flush()
+            self.flush("size")
         elif self._timer is None:
             loop = asyncio.get_running_loop()
             self._timer = loop.call_later(self.max_delay, self._deadline)
 
     def _deadline(self) -> None:
         self._timer = None
-        self.flush()
+        self.flush("deadline")
 
-    def flush(self) -> None:
+    def flush(self, reason: str = "manual") -> None:
         """Flush the pending micro-batch now (no-op when empty)."""
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
         batch, self._pending = self._pending, []
+        queries = self._pending_queries
         self._pending_queries = 0
         if not batch:
             return
         self.batches += 1
+        if _obs.ENABLED:
+            _obs.inc("repro_coalescer_flushes_total", reason=reason)
+            _obs.observe("repro_coalescer_batch_size", float(queries))
         task = asyncio.get_running_loop().create_task(
             self._run_batch(batch))
         self._tasks.add(task)
@@ -174,14 +188,41 @@ class Coalescer:
         queries = [q for t in tickets for q in t.queries]
         scheme = tickets[0].scheme
         counts: "Counter[Any]" = Counter(q.fault_key for q in queries)
+        # One shared wave span for the whole merged group: parented to
+        # the first traced ticket, carrying every batch-mate's trace
+        # id — the record that several clients paid one wave.
+        wave_span: Any = None
+        ctx: Optional[TraceContext] = None
+        if _obs.ENABLED:
+            parents = [c for c in (TraceContext.from_dict(t.trace)
+                                   for t in tickets) if c is not None]
+            wave_span = _obs.start_span(
+                "coalescer.wave",
+                parent=parents[0] if parents else None,
+                tenant=tenant, tickets=len(tickets),
+                queries=len(queries),
+                traces=sorted({p.trace_id for p in parents}),
+            )
+            ctx = wave_span.context()
         try:
-            answers = await self._call(queries, scheme, tenant)
+            await self._answer_group(tenant, tickets, queries, scheme,
+                                     counts, ctx)
+        finally:
+            if wave_span is not None:
+                _obs.finish_span(wave_span)
+
+    async def _answer_group(self, tenant: str, tickets: List[Ticket],
+                            queries: List[Query], scheme: Any,
+                            counts: "Counter[Any]",
+                            ctx: Optional[TraceContext]) -> None:
+        try:
+            answers = await self._call(queries, scheme, tenant, ctx)
         except ReproError:
             # A merged batch failed: isolate the guilty ticket(s) by
             # re-answering each alone, so one client's malformed
             # stream cannot fail its batch-mates (a lone ticket just
             # gets its own error back).
-            await self._retry_alone(tenant, tickets)
+            await self._retry_alone(tenant, tickets, ctx)
             return
         except Exception as exc:  # backend bug — fail every waiter
             for ticket in tickets:
@@ -199,14 +240,14 @@ class Coalescer:
             if not ticket.future.done():
                 ticket.future.set_result(chunk)
 
-    async def _retry_alone(self, tenant: str,
-                           tickets: List[Ticket]) -> None:
+    async def _retry_alone(self, tenant: str, tickets: List[Ticket],
+                           ctx: Optional[TraceContext] = None) -> None:
         for ticket in tickets:
             counts: "Counter[Any]" = Counter(
                 q.fault_key for q in ticket.queries)
             try:
                 answers = await self._call(
-                    ticket.queries, ticket.scheme, tenant)
+                    ticket.queries, ticket.scheme, tenant, ctx)
             except Exception as exc:
                 if not ticket.future.done():
                     ticket.future.set_exception(exc)
@@ -216,19 +257,26 @@ class Coalescer:
                 ticket.future.set_result(_stamp(answers, counts))
 
     async def _call(self, queries: List[Query], scheme: Any,
-                    tenant: str) -> List[Answer]:
+                    tenant: str,
+                    ctx: Optional[TraceContext] = None) -> List[Answer]:
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(
-            self._executor,
-            lambda: self._answer_fn(queries, scheme, tenant),
-        )
+
+        # run_in_executor does not carry contextvars into the worker
+        # thread, so the wave context is re-activated explicitly —
+        # backend spans (planner.execute, fleet.gather, engine waves)
+        # then parent under the coalescer's shared wave span.
+        def call() -> List[Answer]:
+            with _obs.activate(ctx):
+                return self._answer_fn(queries, scheme, tenant)
+
+        return await loop.run_in_executor(self._executor, call)
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     async def drain(self) -> None:
         """Flush pending work and wait for every in-flight batch."""
-        self.flush()
+        self.flush("drain")
         while self._tasks:
             await asyncio.gather(*list(self._tasks),
                                  return_exceptions=True)

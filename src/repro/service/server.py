@@ -28,6 +28,7 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro import obs as _obs
 from repro.exceptions import ReproError, ServiceError
 from repro.query.queries import Answer, Query
 from repro.query.session import SessionStats
@@ -268,6 +269,11 @@ class ScenarioServer:
                 "client": conn.stats,
                 "cache": self.cache_info(),
                 "server": self.counters(),
+                "obs": {
+                    "enabled": _obs.ENABLED,
+                    "metrics": _obs.snapshot(),
+                    "spans": _obs.span_records(),
+                },
             })
             return True
         if kind == "subscribe":
@@ -296,6 +302,8 @@ class ScenarioServer:
         if refusal is not None:
             self._rejected += 1
             code, text = refusal
+            if _obs.ENABLED:
+                _obs.inc("repro_admission_refusals_total", code=code)
             task = asyncio.get_running_loop().create_task(
                 self._send(conn, {
                     "type": "error", "id": mid,
@@ -309,14 +317,28 @@ class ScenarioServer:
         weight = len(queries)
         conn.inflight += weight
         self._inflight += weight
+        # A traced request (a "trace" slot in the frame) turns
+        # recording on server-side — sticky, like a fleet worker —
+        # and runs under a service.request span linking the client's
+        # root to the coalescer's shared wave span.
+        ctx = _obs.TraceContext.from_dict(message.get("trace"))
+        if ctx is not None and not _obs.ENABLED:
+            _obs.enable()
+        span_obj = None
+        if _obs.ENABLED:
+            span_obj = _obs.start_span(
+                "service.request", parent=ctx,
+                client=conn.name, tenant=tenant, queries=weight)
         future: "asyncio.Future[List[Answer]]" = (
             asyncio.get_running_loop().create_future())
         ticket = Ticket(queries=queries,
                         scheme=message.get("scheme"),
-                        tenant=tenant, future=future)
+                        tenant=tenant, future=future,
+                        trace=(span_obj.context().to_dict()
+                               if span_obj is not None else None))
         self.coalescer.submit(ticket)
         task = asyncio.get_running_loop().create_task(
-            self._finish(conn, mid, ticket))
+            self._finish(conn, mid, ticket, span_obj))
         self._finish_tasks.add(task)
         task.add_done_callback(self._finish_tasks.discard)
 
@@ -349,7 +371,8 @@ class ScenarioServer:
         return None
 
     async def _finish(self, conn: _Connection, mid: Any,
-                      ticket: Ticket) -> None:
+                      ticket: Ticket,
+                      span_obj: Optional[Any] = None) -> None:
         weight = len(ticket.queries)
         try:
             answers = await ticket.future
@@ -369,10 +392,15 @@ class ScenarioServer:
         else:
             conn.stats.record_answers(answers)
             self._answered += len(answers)
+            if _obs.ENABLED:
+                _obs.inc("repro_service_answers_total", len(answers),
+                         client=conn.name)
             await self._send(conn, {
                 "type": "answers", "id": mid, "answers": answers,
             })
         finally:
+            if span_obj is not None:
+                _obs.finish_span(span_obj)
             conn.inflight -= weight
             self._inflight -= weight
 

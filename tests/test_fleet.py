@@ -35,6 +35,7 @@ from repro.fleet import (
 )
 from repro.fleet.protocol import (
     ErrorReply,
+    ExecuteReply,
     ExecuteRequest,
     InitRequest,
     JobRequest,
@@ -44,6 +45,8 @@ from repro.fleet.protocol import (
     raise_reply,
     request_weight,
 )
+from repro import obs
+from repro.obs import TraceContext
 from repro.scenarios import CacheInfo, random_fault_sets
 
 
@@ -123,6 +126,28 @@ class TestSpawnSafety:
         assert _spawn_roundtrip(info) == info
         stats = _spawn_roundtrip(session.stats)
         assert stats.answers == session.stats.answers
+
+    def test_trace_and_span_fields_roundtrip(self, grid4):
+        ctx = TraceContext(trace_id="ab" * 8, span_id="cd" * 8)
+        request = ExecuteRequest(tenant="d",
+                                 queries=(ConnectivityQuery(),),
+                                 trace=ctx.to_dict())
+        back = _spawn_roundtrip(request)
+        assert back == request
+        assert TraceContext.from_dict(back.trace) == ctx
+        assert _spawn_roundtrip(ctx) == ctx  # the context itself too
+        record = {"kind": "span", "name": "worker.execute",
+                  "trace_id": ctx.trace_id, "span_id": "ee" * 8,
+                  "parent_id": ctx.span_id, "start": 0.0, "end": 1.0,
+                  "attrs": {"worker": "w0"}}
+        reply = _spawn_roundtrip(ExecuteReply(worker="w0", answers=(),
+                                              spans=(record,)))
+        assert reply.spans == (record,)
+
+    def test_untraced_protocol_defaults(self):
+        # pre-obs shape: no trace on the way out, no spans back
+        assert ExecuteRequest(tenant="d", queries=()).trace is None
+        assert ExecuteReply(worker="w0", answers=()).spans == ()
 
     def test_error_reply_reraises_repro_types(self):
         reply = ErrorReply(worker="w0", exc_type="QueryError",
@@ -459,3 +484,53 @@ class TestFleetSession:
             assert fleet.gathers == 1
             assert "FleetSession(" in repr(fleet)
             assert fleet.tenants == ("default",)
+
+
+# ----------------------------------------------------------------------
+# cross-process tracing through the fleet
+# ----------------------------------------------------------------------
+class TestTracedFleet:
+    @pytest.fixture(autouse=True)
+    def clean_obs(self):
+        obs.reset()
+        yield
+        obs.reset()
+
+    def test_worker_spans_link_into_one_cross_process_chain(self,
+                                                            grid4):
+        obs.enable()
+        with FleetSession(grid4, workers=2) as fleet:
+            with obs.span("test.root") as root:
+                answers = fleet.answer(
+                    [DistanceQuery(0, 15, [(0, 1)]),
+                     DistanceQuery(0, 15, [(1, 2)])])
+        assert [a.value for a in answers] == [6, 6]
+        records = obs.span_records()
+        by_id = {r["span_id"]: r for r in records}
+        # everything — parent-side gather AND worker-side execution,
+        # brought home via ExecuteReply.spans — shares the root trace
+        assert {r["trace_id"] for r in records} == {root.trace_id}
+        gathers = [r for r in records if r["name"] == "fleet.gather"]
+        executes = [r for r in records
+                    if r["name"] == "worker.execute"]
+        assert len(gathers) == 1 and executes
+        assert gathers[0]["parent_id"] == root.span_id
+        for record in executes:
+            assert record["parent_id"] == gathers[0]["span_id"]
+            assert record["attrs"]["worker"] in ("w0", "w1")
+        # the worker-side planner/wave spans chain under the execute
+        plans = [r for r in records if r["name"] == "planner.execute"]
+        assert plans
+        assert {r["parent_id"] for r in plans} <= set(
+            r["span_id"] for r in executes)
+        waves = [r for r in records if r["name"] == "wave"]
+        assert waves
+        for record in waves:
+            assert by_id[record["parent_id"]]["name"] == \
+                "planner.execute"
+
+    def test_untraced_fleet_returns_no_spans(self, grid4):
+        # obs disabled: requests go out untraced, workers stay quiet
+        with FleetSession(grid4, workers=1) as fleet:
+            fleet.answer([DistanceQuery(0, 15)])
+        assert obs.span_records() == []

@@ -235,6 +235,35 @@ def order(engine, s):
     return sorted(engine.peek_vector(s))
 """,
     ),
+    "OB401": (  # observability use inside a hot kernel
+        HOT,
+        """
+from repro import obs
+
+def csr_scan(csr, out):
+    total = 0
+    indptr = csr.indptr
+    for v in out:
+        total += indptr[v]
+    obs.inc("repro_scan_total")
+    return total
+""",
+        """
+from repro import obs
+
+
+def record_scan(total):
+    obs.inc("repro_scan_total", total)
+
+
+def csr_scan(csr, out):
+    total = 0
+    indptr = csr.indptr
+    for v in out:
+        total += indptr[v]
+    return total
+""",
+    ),
     "E001": (  # unparsable source
         COLD,
         """

@@ -13,6 +13,7 @@ import threading
 
 import pytest
 
+from repro import obs
 from repro.exceptions import QueryError, ServiceError
 from repro.graphs import generators
 from repro.query import DistanceQuery, Session, VectorQuery
@@ -225,6 +226,87 @@ class TestCoalescing:
             got, raised = _concurrently(innocent, guilty)
         assert raised == "raised"
         assert got[0].value is not None  # innocent answer survived
+
+
+class TestTracing:
+    @pytest.fixture(autouse=True)
+    def clean_obs(self):
+        obs.reset()
+        yield
+        obs.reset()
+
+    def test_two_clients_two_roots_one_shared_wave_span(self, served,
+                                                        er_medium):
+        """The coalescing trace topology: each client gets its own
+        root trace, the shared wave appears exactly once, parented to
+        one of them and cross-linking the other via its ``traces``
+        attribute."""
+        obs.enable()
+        server, _ = served
+        e = next(iter(er_medium.edges()))
+        with _connect(server, client="a") as a, \
+                _connect(server, client="b") as b:
+            _concurrently(
+                lambda: a.answer([VectorQuery(0, (e,))]),
+                lambda: b.answer([VectorQuery(1, (e,))]),
+            )
+        records = obs.span_records()
+        roots = [r for r in records if r["name"] == "client.request"]
+        assert len(roots) == 2
+        root_traces = {r["trace_id"] for r in roots}
+        assert len(root_traces) == 2  # distinct traces per client
+        served_spans = [r for r in records
+                        if r["name"] == "service.request"]
+        assert len(served_spans) == 2
+        root_ids = {r["span_id"]: r["trace_id"] for r in roots}
+        for record in served_spans:
+            # each server-side span continues its client's trace
+            assert root_ids[record["parent_id"]] == record["trace_id"]
+        wave, = [r for r in records if r["name"] == "coalescer.wave"]
+        assert wave["attrs"]["tickets"] == 2
+        assert wave["attrs"]["queries"] == 2
+        # ONE wave span for both clients, parented into one trace and
+        # naming every participating trace — the cross-client link
+        assert wave["parent_id"] in {r["span_id"]
+                                     for r in served_spans}
+        assert set(wave["attrs"]["traces"]) == root_traces
+        # downstream execution chains under the shared wave span
+        plans = [r for r in records if r["name"] == "planner.execute"]
+        assert any(p["parent_id"] == wave["span_id"] and
+                   p["trace_id"] == wave["trace_id"] for p in plans)
+
+    def test_traced_frame_enables_obs_on_the_server(self, served):
+        """A traced client wakes a cold server's recorder (sticky
+        enable), so operators can trace a live service on demand."""
+        server, _ = served
+        assert not obs.ENABLED
+        with obs.span("off"):  # no-op while disabled
+            pass
+        obs.enable()  # client side on; server shares the process here
+        with _connect(server, client="probe") as client:
+            client.answer([DistanceQuery(0, 1)])
+        names = {r["name"] for r in obs.span_records()}
+        assert {"client.request", "service.request"} <= names
+
+    def test_stats_reply_carries_obs_payload(self, served):
+        obs.enable()
+        server, _ = served
+        with _connect(server, client="s") as client:
+            client.answer([DistanceQuery(0, 1)])
+            stats = client.server_stats()
+        payload = stats["obs"]
+        assert payload["enabled"] is True
+        names = {r["name"] for r in payload["metrics"]}
+        assert "repro_service_answers_total" in names
+        assert any(s["name"] == "coalescer.wave"
+                   for s in payload["spans"])
+
+    def test_untraced_service_records_nothing(self, served):
+        server, _ = served
+        with _connect(server, client="quiet") as client:
+            client.answer([DistanceQuery(0, 1)])
+        assert obs.span_records() == []
+        assert obs.snapshot() == []
 
 
 class TestAdmissionControl:
